@@ -1,0 +1,53 @@
+"""Application-based evaluation benchmark (the paper's Sec. VII future
+work): run the three application kernels under both builds and report how
+much collective blocking application bypass removes."""
+
+from repro.bench.report import Table
+from repro.config import paper_cluster
+from repro.apps import compare_builds
+from repro.mpich.rank import MpiBuild
+
+from conftest import SEED, run_once, save_table
+
+
+def test_application_kernels(benchmark):
+    size = 16
+    cases = [
+        ("jacobi", dict(iterations=15, imbalance=1.0)),
+        ("cg", dict(iterations=10)),
+        ("particles", dict(iterations=15)),
+        ("particles", dict(iterations=15, rebalance_every=5)),
+    ]
+
+    def run():
+        rows = []
+        for kernel, kwargs in cases:
+            comp = compare_builds(kernel, paper_cluster(size, seed=SEED),
+                                  **kwargs)
+            rows.append((kernel + ("+bcast" if kwargs.get("rebalance_every")
+                                   else ""), comp))
+        return rows
+
+    rows = run_once(benchmark, run)
+    table = Table(f"Application kernels on {size} ranks: non-root us "
+                  f"blocked in collectives", "case", list(range(len(rows))))
+    table.add_series("nab", [c.nonroot_mean_collective_us(MpiBuild.DEFAULT)
+                             for _, c in rows])
+    table.add_series("ab", [c.nonroot_mean_collective_us(MpiBuild.AB)
+                            for _, c in rows])
+    table.add_series("improvement", [c.blocking_improvement
+                                     for _, c in rows])
+    labels = ", ".join(f"{i}={name}" for i, (name, _) in enumerate(rows))
+    text = table.render() + f"\ncases: {labels}"
+    save_table("apps", text)
+    print()
+    print(text)
+
+    by_name = {name: comp for name, comp in rows}
+    # reduction-punctuated kernels benefit substantially...
+    assert by_name["jacobi"].blocking_improvement > 2.0
+    assert by_name["particles"].blocking_improvement > 1.5
+    # ...synchronizing collectives cap the gain (Sec. II's split-phase point)
+    assert by_name["particles+bcast"].blocking_improvement < \
+        by_name["particles"].blocking_improvement
+    assert by_name["cg"].blocking_improvement < 2.0

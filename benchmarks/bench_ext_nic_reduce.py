@@ -1,0 +1,66 @@
+"""Extension benchmark: NIC-based reduction vs. host-side application
+bypass vs. default MPICH — the paper's future-work direction (Sec. VII)
+and ref. [11]'s question, "NIC-Based Reduction in Myrinet Clusters: Is It
+Beneficial?".
+
+Expected trade-off:
+
+* host CPU under skew: nicred < ab << nab (internal hosts pay one hand-off);
+* latency: nicred is competitive for small messages but pays the slow
+  LANai ALU dearly as the element count grows — the crossover that made
+  ref. [11] pose its title question.
+"""
+
+from repro.bench.cpu_util import cpu_util_benchmark
+from repro.bench.nicred import nicred_cpu_util, nicred_latency
+from repro.bench.report import Table
+from repro.config import paper_cluster
+from repro.mpich.rank import MpiBuild
+
+from conftest import ITERATIONS, SEED, run_once, save_table
+
+
+def test_ext_nic_reduce(benchmark):
+    size = 16
+    iters = max(20, ITERATIONS // 2)
+
+    def run():
+        rows = {}
+        for elements in (4, 32, 128, 512):
+            cfg = paper_cluster(size, seed=SEED)
+            nab = cpu_util_benchmark(cfg, MpiBuild.DEFAULT,
+                                     elements=elements, max_skew_us=1000.0,
+                                     iterations=iters).avg_util_us
+            ab = cpu_util_benchmark(cfg, MpiBuild.AB, elements=elements,
+                                    max_skew_us=1000.0,
+                                    iterations=iters).avg_util_us
+            nic = nicred_cpu_util(cfg, elements=elements, max_skew_us=1000.0,
+                                  iterations=iters)
+            rows[elements] = (nab, ab, nic)
+        lat = {}
+        for elements in (4, 512):
+            cfg = paper_cluster(size, seed=SEED)
+            lat[elements] = nicred_latency(cfg, elements=elements,
+                                           iterations=iters)
+        return rows, lat
+
+    rows, lat = run_once(benchmark, run)
+    table = Table(f"Extension: host CPU utilization under 1000us skew "
+                  f"({size} nodes) — nab vs host-ab vs NIC-based",
+                  "elements", sorted(rows))
+    table.add_series("nab", [rows[e][0] for e in sorted(rows)])
+    table.add_series("host-ab", [rows[e][1] for e in sorted(rows)])
+    table.add_series("nic-based", [rows[e][2] for e in sorted(rows)])
+    text = table.render() + (
+        f"\n\nnicred latency: {lat[4]:.1f}us @4 elements, "
+        f"{lat[512]:.1f}us @512 elements (slow LANai ALU)")
+    save_table("ext_nic_reduce", text)
+    print()
+    print(text)
+
+    for elements, (nab, ab, nic) in rows.items():
+        assert nic < nab            # NIC-based always beats default on CPU
+        if elements <= 128:
+            assert nic < ab + 3.0   # and is at least competitive with ab
+    # ref [11]'s caveat: latency pays for the slow NIC ALU at large sizes
+    assert lat[512] > lat[4] + 30.0

@@ -1,0 +1,36 @@
+"""Fig. 6 — average CPU utilization (and factor of improvement) vs.
+maximum process skew, 32 nodes, 4/32/128-element messages.
+
+Paper headline: ab wins everywhere; factor up to 5.1 at 4 elements and
+1000 us skew; factor greatest for small messages.
+"""
+
+from repro.experiments import fig6
+
+from conftest import ITERATIONS, SEED, run_once, save_table
+
+
+def test_fig6_cpu_util_vs_skew(benchmark):
+    def run():
+        return fig6.run(iterations=ITERATIONS, seed=SEED,
+                        skews=(0.0, 250.0, 500.0, 750.0, 1000.0))
+
+    out = run_once(benchmark, run)
+    table = out.tables[0]
+    save_table("fig06", out.render())
+    print()
+    print(out.render())
+
+    for elements in (4, 32, 128):
+        nab = table._find(f"nab-{elements}").values
+        ab = table._find(f"ab-{elements}").values
+        factors = table._find(f"factor-{elements}").values
+        # ab wins at every skew point
+        assert all(a <= n for a, n in zip(ab, nab))
+        # factor grows from the no-skew point to the max-skew point
+        assert factors[-1] > factors[0]
+    f4 = table._find("factor-4").values
+    f128 = table._find("factor-128").values
+    # the paper's 5.1 peak at the smallest size; we accept 4..6.5
+    assert 4.0 < f4[-1] < 6.5, f"peak factor {f4[-1]}"
+    assert f4[-1] > f128[-1]

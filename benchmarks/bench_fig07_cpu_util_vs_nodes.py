@@ -1,0 +1,33 @@
+"""Fig. 7 — CPU utilization (and factor) vs. node count at maximal skew.
+
+Paper headline: the factor of improvement increases with system size,
+reaching 5.1 at 32 nodes / 4 elements.
+"""
+
+from repro.experiments import fig7
+
+from conftest import ITERATIONS, SEED, run_once, save_table
+
+
+def test_fig7_cpu_util_vs_nodes(benchmark):
+    def run():
+        return fig7.run(iterations=ITERATIONS, seed=SEED)
+
+    out = run_once(benchmark, run)
+    table = out.tables[0]
+    save_table("fig07", out.render())
+    print()
+    print(out.render())
+
+    sizes = table.x_values
+    for elements in (4, 32, 128):
+        factors = table._find(f"factor-{elements}").values
+        # scalability claim: factor grows from 2 nodes to 32 nodes
+        assert factors[-1] > factors[0]
+        # and ab wins clearly at full scale
+        assert factors[-1] > 2.5
+    f4 = table._find("factor-4").values
+    assert 4.0 < f4[-1] < 6.5
+    # the paper's monotone-growth trend (allow small local wiggles)
+    for lo, hi in zip(f4, f4[1:]):
+        assert hi > lo - 0.4

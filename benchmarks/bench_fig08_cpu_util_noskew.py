@@ -1,0 +1,40 @@
+"""Fig. 8 — CPU utilization (and factor) vs. node count WITHOUT skew.
+
+Paper headline: the worst case for application bypass.  It loses at small
+node counts (factor < 1), crosses over as naturally occurring skew grows
+with system size, and reaches ~1.5 at 32 nodes / 128 elements; larger
+messages cross over at smaller node counts.
+"""
+
+from repro.experiments import fig8
+from repro.experiments.fig8 import crossover_size
+
+from conftest import ITERATIONS, SEED, run_once, save_table
+
+
+def test_fig8_cpu_util_no_skew(benchmark):
+    iterations = max(60, ITERATIONS)
+
+    def run():
+        return fig8.run(iterations=iterations, seed=SEED)
+
+    out = run_once(benchmark, run)
+    table = out.tables[0]
+    save_table("fig08", out.render())
+    print()
+    print(out.render())
+
+    sizes = table.x_values
+    f4 = table._find("factor-4").values
+    f128 = table._find("factor-128").values
+    # overhead dominates at small scale (paper: ~0.7-0.9)
+    assert f4[1] < 1.0, f"expected ab to lose at 4 nodes, factor={f4[1]}"
+    # ab wins at full scale; best for the largest messages (paper: 1.5)
+    assert f128[-1] > 1.15
+    assert f128[-1] > f4[-1]
+    assert 1.0 < f128[-1] < 2.0
+    # crossover happens earlier for larger messages
+    c4 = crossover_size(sizes, f4)
+    c128 = crossover_size(sizes, f128)
+    assert c128 is not None
+    assert c4 is None or c128 <= c4

@@ -1,0 +1,36 @@
+"""Fig. 9 — reduction latency vs. node count (no skew, 1 double-word):
+(a) the heterogeneous 32-node cluster, (b) the homogeneous 16-node one.
+
+Paper headline: nearly identical latency at small node counts; beyond four
+nodes the ab build pays signal overhead for naturally late messages.
+"""
+
+from repro.experiments import fig9
+
+from conftest import ITERATIONS, SEED, run_once, save_table
+
+
+def test_fig9_latency_vs_nodes(benchmark):
+    iterations = max(60, ITERATIONS)
+
+    def run():
+        return fig9.run(iterations=iterations, seed=SEED)
+
+    out = run_once(benchmark, run)
+    save_table("fig09", out.render())
+    print()
+    print(out.render())
+
+    hetero, homo = out.tables
+    for table in (hetero, homo):
+        nab = table._find("nab").values
+        ab = table._find("ab").values
+        # both curves grow with node count
+        assert nab[-1] > nab[0]
+        assert ab[-1] > ab[0]
+        # nearly identical at 2 nodes...
+        assert abs(ab[0] - nab[0]) < 6.0
+        # ...ab visibly above nab at the largest size
+        assert ab[-1] > nab[-1] + 3.0
+    # latency magnitudes era-plausible (paper 9a tops out near 110-120us)
+    assert 50.0 < hetero._find("nab").values[-1] < 150.0

@@ -1,0 +1,35 @@
+"""Fig. 10 — reduction latency vs. message size, 32 nodes, no skew.
+
+Paper headline: latency grows with message size for both builds; the ab
+latency penalty stays positive and roughly constant across sizes.
+"""
+
+import numpy as np
+
+from repro.experiments import fig10
+
+from conftest import ITERATIONS, SEED, run_once, save_table
+
+
+def test_fig10_latency_vs_message_size(benchmark):
+    def run():
+        return fig10.run(iterations=max(50, ITERATIONS), seed=SEED,
+                         element_sizes=(1, 16, 32, 64, 96, 128))
+
+    out = run_once(benchmark, run)
+    table = out.tables[0]
+    save_table("fig10", out.render())
+    print()
+    print(out.render())
+
+    nab = np.asarray(table._find("nab").values)
+    ab = np.asarray(table._find("ab").values)
+    gaps = ab - nab
+    # monotone-ish growth with message size for both builds
+    assert nab[-1] > nab[0] * 1.5
+    assert ab[-1] > ab[0] * 1.3
+    # ab pays a positive penalty at every size...
+    assert (gaps > 0.0).all()
+    # ...that stays bounded (paper: "fairly constant"); we accept a band
+    assert gaps.max() < 30.0
+    assert gaps.min() > 2.0

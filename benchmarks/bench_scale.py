@@ -1,0 +1,30 @@
+"""Scalability-extrapolation benchmark: the paper's central prediction —
+the factor of improvement keeps growing with system size — checked out to
+256 nodes (8x the paper's testbed)."""
+
+from repro.experiments import scale
+
+from conftest import ITERATIONS, SEED, run_once, save_table
+
+
+def test_scale_extrapolation(benchmark):
+    iters = max(15, ITERATIONS // 2)
+
+    def run():
+        return scale.run(iterations=iters, seed=SEED)
+
+    out = run_once(benchmark, run)
+    save_table("scale", out.render())
+    print()
+    print(out.render())
+
+    table = out.tables[0]
+    factors = table._find("factor").values
+    sizes = table.x_values
+    # monotone growth from 16 through 256 nodes
+    for (s1, f1), (s2, f2) in zip(zip(sizes, factors),
+                                  zip(sizes[1:], factors[1:])):
+        assert f2 > f1, f"factor fell from {f1:.2f}@{s1} to {f2:.2f}@{s2}"
+    # the paper's 5.1 at 32 nodes roughly doubles by 256
+    assert factors[sizes.index(32)] > 4.0
+    assert factors[-1] > 1.6 * factors[sizes.index(32)]

@@ -1,0 +1,29 @@
+"""Shared helpers for the figure benchmarks.
+
+Each ``bench_fig*.py`` regenerates one figure of the paper's evaluation
+section at a reduced-but-representative iteration count (virtual time is
+noise-free, so far fewer iterations are needed than the paper's 10,000).
+Rendered tables are written to ``benchmarks/results/`` and the headline
+shape assertions are checked inside the benchmark itself.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Iteration counts for the benchmark runs (override with env vars).
+ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERS", "40"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def save_table(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

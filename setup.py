@@ -1,0 +1,15 @@
+"""Setuptools shim for environments whose pip/setuptools predate full
+PEP-517/660 editable-install support (falls back to `setup.py develop`)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Application-bypass reduction for large-scale clusters "
+                 "(CLUSTER 2003) - full simulation-based reproduction"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

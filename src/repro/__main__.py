@@ -1,0 +1,27 @@
+"""``python -m repro``: version banner and a map of the entry points."""
+
+from __future__ import annotations
+
+import sys
+
+from . import __version__
+
+
+def main() -> int:
+    print(f"repro {__version__} — Application-Bypass Reduction for "
+          "Large-Scale Clusters (CLUSTER 2003), simulation reproduction")
+    print()
+    print("entry points:")
+    print("  python -m repro.experiments <fig6|fig7|fig8|fig9|fig10|"
+          "ablations|extensions|scale|all>")
+    print("  pytest tests/                       # unit/integration/property")
+    print("  pytest benchmarks/ --benchmark-only # regenerate every figure")
+    print("  python examples/quickstart.py       # (and 5 more examples)")
+    print()
+    print("docs: README.md, DESIGN.md (system inventory), "
+          "EXPERIMENTS.md (paper-vs-measured)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

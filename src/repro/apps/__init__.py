@@ -1,0 +1,12 @@
+"""Application kernels and the application-based evaluation harness
+(the paper's Sec. VII future work, made runnable)."""
+
+from .harness import AppComparison, compare_builds
+from .kernels import (AB_ONLY_KERNELS, KERNELS, KernelStats, cg_pipelined,
+                      conjugate_gradient, jacobi, particle_timestep)
+
+__all__ = [
+    "KERNELS", "AB_ONLY_KERNELS", "KernelStats",
+    "jacobi", "conjugate_gradient", "particle_timestep", "cg_pipelined",
+    "compare_builds", "AppComparison",
+]

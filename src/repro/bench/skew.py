@@ -1,0 +1,78 @@
+"""Process-skew and OS-noise generation for the microbenchmarks.
+
+The paper (Sec. VI) injects, per node per iteration, a uniform random delay
+in ``[0, max_skew]`` executed as a **busy loop** so that CPU consumed by
+asynchronous processing is captured in the timed interval.  We reproduce
+exactly that, plus a model of *naturally occurring* skew (base jitter and
+occasional OS preemption spikes) that is **not** subtracted from the
+measurements — the application cannot know about it, and it is what makes
+the paper's no-skew results (Figs. 8-9) diverge as the node count grows.
+
+All draws come from per-node named RNG streams, so adding iterations for one
+node never perturbs another node's sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import NoiseParams
+from ..sim.random import RngStreams
+
+
+class SkewModel:
+    """Deterministic per-(node, iteration) delay generator."""
+
+    def __init__(self, rng: RngStreams, noise: NoiseParams,
+                 max_skew_us: float):
+        if max_skew_us < 0:
+            raise ValueError("max skew must be non-negative")
+        self.noise = noise
+        self.max_skew_us = max_skew_us
+        self._rng = rng
+
+    def _stream(self, purpose: str, node: int) -> np.random.Generator:
+        return self._rng.node_stream(purpose, node)
+
+    def skew_delay(self, node: int, iteration: int) -> float:
+        """The paper's injected skew: uniform in [0, max_skew].
+
+        This delay is known to the benchmark and subtracted from the
+        measured time.
+        """
+        if self.max_skew_us == 0.0:
+            return 0.0
+        # One draw per iteration from the node's dedicated stream; the
+        # iteration argument documents intent (draws are consumed in order).
+        del iteration
+        return float(self._stream("skew", node).uniform(0.0, self.max_skew_us))
+
+    def noise_delay(self, node: int, iteration: int) -> float:
+        """Naturally-occurring skew: NOT subtracted from measurements."""
+        del iteration
+        noise = self.noise
+        total = 0.0
+        stream = self._stream("noise", node)
+        if noise.base_jitter_us > 0.0:
+            total += float(stream.uniform(0.0, noise.base_jitter_us))
+        if noise.spike_prob > 0.0:
+            if float(stream.random()) < noise.spike_prob:
+                total += float(stream.uniform(noise.spike_min_us,
+                                              noise.spike_max_us))
+        if noise.barrier_jitter_us > 0.0:
+            total += float(stream.uniform(0.0, noise.barrier_jitter_us))
+        return total
+
+
+def conservative_latency_estimate(size: int, elements: int) -> float:
+    """Upper-bound guess for one reduction's latency, used to size the
+    paper's *catch-up delay* ("the maximum skew delay plus a conservative
+    estimate of the maximum reduction latency").
+
+    Deliberately generous: the catch-up delay only has to be long enough to
+    capture all asynchronous processing inside the timed window; it is
+    subtracted back out of the measurement.
+    """
+    depth = max(1, (max(size, 2) - 1).bit_length())
+    per_hop = 25.0 + 0.02 * elements * 8
+    return 100.0 + depth * per_hop

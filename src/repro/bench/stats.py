@@ -1,0 +1,66 @@
+"""Summary statistics for benchmark sample sets.
+
+The paper reports plain averages over 10,000 iterations; with far fewer
+virtual-time iterations we attach dispersion and a normal-approximation
+confidence interval so EXPERIMENTS.md claims are honest about their
+resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean / dispersion summary of one benchmark sample set."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    #: Half-width of the ~95% confidence interval on the mean
+    #: (1.96 * std / sqrt(n); normal approximation).
+    ci95: float
+
+    @property
+    def relative_ci(self) -> float:
+        """CI half-width as a fraction of the mean (0 when mean is 0)."""
+        return self.ci95 / self.mean if self.mean else 0.0
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.2f} ± {self.ci95:.2f} us "
+                f"(n={self.n}, sd={self.std:.2f}, "
+                f"range {self.minimum:.2f}..{self.maximum:.2f})")
+
+
+def summarize(samples) -> SampleSummary:
+    """Summarize a 1-D (or flattenable) array of samples."""
+    arr = np.asarray(samples, dtype=np.float64).reshape(-1)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return SampleSummary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+        ci95=1.96 * std / float(np.sqrt(arr.size)) if arr.size > 1 else 0.0,
+    )
+
+
+def factor_with_ci(numerator: SampleSummary,
+                   denominator: SampleSummary) -> tuple[float, float]:
+    """Ratio of means with a first-order-propagated ~95% CI half-width."""
+    if denominator.mean == 0.0:
+        raise ValueError("denominator mean is zero")
+    factor = numerator.mean / denominator.mean
+    rel = float(np.sqrt(numerator.relative_ci ** 2 +
+                        denominator.relative_ci ** 2))
+    return factor, factor * rel

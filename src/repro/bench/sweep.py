@@ -1,0 +1,135 @@
+"""Parameter-sweep driver shared by the figure experiments.
+
+Every paper figure is a sweep of the CPU-utilization or latency benchmark
+over one axis (skew, node count, message size) with two builds and one or
+more message sizes.  This module runs those grids and returns
+:class:`~repro.bench.report.Table` objects with both the raw series and the
+factor-of-improvement (nab / ab) rows the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..config import ClusterConfig
+from ..mpich.rank import MpiBuild
+from .cpu_util import CpuUtilResult, cpu_util_benchmark
+from .latency import LatencyResult, latency_benchmark
+from .report import Table
+
+ConfigFactory = Callable[[int], ClusterConfig]
+
+
+def cpu_util_vs_skew(config: ClusterConfig, *, skews: Sequence[float],
+                     element_sizes: Sequence[int], iterations: int = 100,
+                     warmup: int = 3,
+                     progress: Optional[Callable[[str], None]] = None
+                     ) -> tuple[Table, dict]:
+    """Fig. 6 grid: fixed cluster, varying max skew and message size."""
+    table = Table(
+        f"Average CPU utilization vs. max skew ({config.size} nodes)",
+        "skew_us", skews)
+    raw: dict[tuple[str, int], list[CpuUtilResult]] = {}
+    for build in (MpiBuild.DEFAULT, MpiBuild.AB):
+        tag = "nab" if build is MpiBuild.DEFAULT else "ab"
+        for elements in element_sizes:
+            results = []
+            for skew in skews:
+                r = cpu_util_benchmark(config, build, elements=elements,
+                                       max_skew_us=skew,
+                                       iterations=iterations, warmup=warmup)
+                results.append(r)
+                if progress:
+                    progress(str(r))
+            raw[(tag, elements)] = results
+            table.add_series(f"{tag}-{elements}",
+                             [r.avg_util_us for r in results])
+    for elements in element_sizes:
+        table.factor_series(f"factor-{elements}", f"nab-{elements}",
+                            f"ab-{elements}")
+    return table, raw
+
+
+def cpu_util_vs_nodes(config_for_size: ConfigFactory, *,
+                      sizes: Sequence[int], element_sizes: Sequence[int],
+                      max_skew_us: float, iterations: int = 100,
+                      warmup: int = 3,
+                      progress: Optional[Callable[[str], None]] = None
+                      ) -> tuple[Table, dict]:
+    """Fig. 7 / Fig. 8 grid: varying node count at a fixed skew."""
+    table = Table(
+        f"Average CPU utilization vs. nodes (max skew {max_skew_us:.0f}us)",
+        "nodes", sizes)
+    raw: dict[tuple[str, int], list[CpuUtilResult]] = {}
+    for build in (MpiBuild.DEFAULT, MpiBuild.AB):
+        tag = "nab" if build is MpiBuild.DEFAULT else "ab"
+        for elements in element_sizes:
+            results = []
+            for size in sizes:
+                r = cpu_util_benchmark(config_for_size(size), build,
+                                       elements=elements,
+                                       max_skew_us=max_skew_us,
+                                       iterations=iterations, warmup=warmup)
+                results.append(r)
+                if progress:
+                    progress(str(r))
+            raw[(tag, elements)] = results
+            table.add_series(f"{tag}-{elements}",
+                             [r.avg_util_us for r in results])
+    for elements in element_sizes:
+        table.factor_series(f"factor-{elements}", f"nab-{elements}",
+                            f"ab-{elements}")
+    return table, raw
+
+
+def latency_vs_nodes(config_for_size: ConfigFactory, *,
+                     sizes: Sequence[int], elements: int = 1,
+                     iterations: int = 200, warmup: int = 3,
+                     progress: Optional[Callable[[str], None]] = None
+                     ) -> tuple[Table, dict]:
+    """Fig. 9 grid: reduction latency vs. node count (no injected skew)."""
+    table = Table(
+        f"Total reduction latency vs. nodes ({elements}-element messages)",
+        "nodes", sizes)
+    raw: dict[str, list[LatencyResult]] = {}
+    for build in (MpiBuild.DEFAULT, MpiBuild.AB):
+        tag = "nab" if build is MpiBuild.DEFAULT else "ab"
+        results = []
+        for size in sizes:
+            r = latency_benchmark(config_for_size(size), build,
+                                  elements=elements, iterations=iterations,
+                                  warmup=warmup)
+            results.append(r)
+            if progress:
+                progress(str(r))
+        raw[tag] = results
+        table.add_series(tag, [r.avg_latency_us for r in results])
+    table.factor_series("ab/nab", "ab", "nab")
+    return table, raw
+
+
+def latency_vs_message_size(config: ClusterConfig, *,
+                            element_sizes: Sequence[int],
+                            iterations: int = 200, warmup: int = 3,
+                            progress: Optional[Callable[[str], None]] = None
+                            ) -> tuple[Table, dict]:
+    """Fig. 10 grid: latency vs. message size on the full cluster."""
+    table = Table(
+        f"Total reduction latency vs. message size ({config.size} nodes)",
+        "elements", element_sizes)
+    raw: dict[str, list[LatencyResult]] = {}
+    for build in (MpiBuild.DEFAULT, MpiBuild.AB):
+        tag = "nab" if build is MpiBuild.DEFAULT else "ab"
+        results = []
+        for elements in element_sizes:
+            r = latency_benchmark(config, build, elements=elements,
+                                  iterations=iterations, warmup=warmup)
+            results.append(r)
+            if progress:
+                progress(str(r))
+        raw[tag] = results
+        table.add_series(tag, [r.avg_latency_us for r in results])
+    table.add_series("ab-nab gap",
+                     [a.avg_latency_us - n.avg_latency_us
+                      for a, n in zip(raw["ab"], raw["nab"])])
+    return table, raw

@@ -1,0 +1,7 @@
+"""Cluster model: machine specs live in :mod:`repro.config`; this package
+assembles them into simulated nodes and whole clusters."""
+
+from .cluster import Cluster
+from .node import Node, NodeCosts
+
+__all__ = ["Cluster", "Node", "NodeCosts"]

@@ -1,0 +1,49 @@
+"""Cluster assembly: simulator + fabric + nodes, from a ClusterConfig."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import ClusterConfig
+from ..network.fabric import Fabric
+from ..sim.random import RngStreams
+from ..sim.simulator import Simulator
+from ..sim.trace import Tracer
+from .node import Node
+
+
+class Cluster:
+    """A fully wired simulated cluster.
+
+    Construction is cheap; nothing runs until processes are spawned (see
+    :func:`repro.runtime.program.run_program`).
+    """
+
+    def __init__(self, config: ClusterConfig, tracer: Optional[Tracer] = None):
+        self.config = config
+        self.tracer = tracer or Tracer()
+        self.sim = Simulator(self.tracer)
+        self.tracer.bind_clock(lambda: self.sim.now)
+        self.rng = RngStreams(config.seed)
+        self.fabric = Fabric(self.sim, config.net, config.size,
+                             rng=self.rng.stream("fabric"))
+        self.nodes = [
+            Node(self.sim, i, spec, config, self.fabric, self.tracer)
+            for i, spec in enumerate(config.machines)
+        ]
+        for node in self.nodes:
+            node.rng = self.rng
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def cpu_usage_table(self) -> list[dict[str, float]]:
+        """Per-node CPU accounting snapshots (for reports and tests)."""
+        return [n.cpu.usage_snapshot() for n in self.nodes]
+
+    def total_signals(self) -> int:
+        return sum(n.nic.stats.signals_raised for n in self.nodes)

@@ -1,0 +1,88 @@
+"""Host node model: one CPU, one NIC, resolved cost table.
+
+:class:`NodeCosts` bakes the configuration's reference costs down to this
+machine's clocks once at construction, so the hot paths (progress engine,
+signal handlers) do plain attribute lookups and multiplies.
+"""
+
+from __future__ import annotations
+
+from ..config import ClusterConfig, MachineSpec
+from ..gm.memory import PinnedMemoryManager
+from ..gm.nic import Nic
+from ..sim.cpu import HostCpu
+from ..sim.trace import Tracer
+
+
+class NodeCosts:
+    """Per-node, post-scaling cost table (all values in microseconds)."""
+
+    __slots__ = (
+        "host_scale", "copy_us_per_byte",
+        "match_us", "post_recv_us", "poll_empty_us", "call_overhead_us",
+        "op_us_per_element", "tree_setup_us", "unexpected_insert_us",
+        "host_send_overhead_us", "eager_limit_bytes",
+        "ab_hook_us", "ab_decision_us", "ab_descriptor_us",
+        "ab_descriptor_match_us", "ab_reuse_mgmt_us", "ab_eager_limit_bytes",
+    )
+
+    def __init__(self, spec: MachineSpec, config: ClusterConfig):
+        mpi = config.mpi
+        ab = config.ab
+        hs = spec.host_scale()
+        self.host_scale = hs
+        self.copy_us_per_byte = 1.0 / spec.memcpy_bytes_per_us
+        self.match_us = mpi.match_us * hs
+        self.post_recv_us = mpi.post_recv_us * hs
+        self.poll_empty_us = mpi.poll_empty_us * hs
+        self.call_overhead_us = mpi.call_overhead_us * hs
+        self.op_us_per_element = mpi.op_us_per_element * hs
+        self.tree_setup_us = mpi.tree_setup_us * hs
+        self.unexpected_insert_us = mpi.unexpected_insert_us * hs
+        self.host_send_overhead_us = config.nic.host_send_overhead_us * hs
+        self.eager_limit_bytes = mpi.eager_limit_bytes
+        self.ab_hook_us = ab.progress_hook_us * hs
+        self.ab_decision_us = ab.decision_us * hs
+        self.ab_descriptor_us = ab.descriptor_us * hs
+        self.ab_descriptor_match_us = ab.descriptor_match_us * hs
+        self.ab_reuse_mgmt_us = ab.reuse_mgmt_us * hs
+        self.ab_eager_limit_bytes = ab.eager_limit_bytes
+
+    def copy_us(self, nbytes: int) -> float:
+        """Host memory-copy cost for ``nbytes``."""
+        return nbytes * self.copy_us_per_byte
+
+    def op_us(self, elements: int) -> float:
+        """Reduction arithmetic cost for ``elements`` double words."""
+        return elements * self.op_us_per_element
+
+
+class Node:
+    """One cluster node (host CPU + GM NIC + pinned-memory manager)."""
+
+    def __init__(self, sim, node_id: int, spec: MachineSpec,
+                 config: ClusterConfig, fabric, tracer: Tracer):
+        self.sim = sim
+        self.id = node_id
+        self.spec = spec
+        self.config = config
+        self.tracer = tracer
+        self.cpu = HostCpu(sim, name=f"cpu[{node_id}]")
+        self.costs = NodeCosts(spec, config)
+        self.nic = Nic(
+            sim, node_id, config.nic,
+            lanai_scale=spec.lanai_scale(),
+            host_scale=spec.host_scale(),
+            dma_bytes_per_us=spec.pci_bytes_per_us,
+            fabric=fabric,
+            cpu=self.cpu,
+            tracer=tracer,
+            net_params=config.net,
+        )
+        self.pinned = PinnedMemoryManager(config.nic, spec.host_scale())
+        #: Deterministic RNG streams; installed by Cluster right after
+        #: construction (shared across the whole cluster).
+        self.rng = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.id} {self.spec.name}>"

@@ -1,0 +1,27 @@
+"""The paper's contribution: application-bypass reduction.
+
+* :class:`~repro.core.engine.AbEngine` — synchronous component (Fig. 3),
+  progress hook (Fig. 4) and asynchronous completion (Fig. 5)
+* :class:`~repro.core.descriptor.ReduceDescriptor` /
+  :class:`~repro.core.descriptor.DescriptorQueue` — intermediate state
+* :class:`~repro.core.unexpected.AbUnexpectedQueue` — the custom one-copy
+  unexpected queue
+* :func:`~repro.core.delay.exit_delay_window` — the Sec. IV-E heuristic
+"""
+
+from .broadcast import AbBroadcast
+from .delay import POLICIES, exit_delay_window
+from .descriptor import DescriptorQueue, ReduceDescriptor
+from .engine import AbEngine, AbStats
+from .nic_reduce import NicReduce, NicReduceUnit
+from .split_phase import ReduceHandle, SplitPhaseReduce
+from .unexpected import AbUnexpectedEntry, AbUnexpectedQueue
+
+__all__ = [
+    "AbEngine", "AbStats",
+    "ReduceDescriptor", "DescriptorQueue",
+    "AbUnexpectedQueue", "AbUnexpectedEntry",
+    "exit_delay_window", "POLICIES",
+    "AbBroadcast", "SplitPhaseReduce", "ReduceHandle",
+    "NicReduce", "NicReduceUnit",
+]

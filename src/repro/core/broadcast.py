@@ -1,0 +1,195 @@
+"""Application-bypass broadcast (the paper's companion work, ref. [8]:
+Buntinas, Panda & Brightwell, "Application-Bypass Broadcast in MPICH over
+GM", CCGrid 2003).
+
+A broadcast travels down the same binomial tree the reduction climbs up.
+The bypass opportunity is the *forwarding*: when an internal node's copy of
+the data arrives, the progress hook forwards it to the node's children
+immediately — whether or not the application has called ``MPI_Bcast`` yet —
+so a skewed (late) parent never delays its entire subtree.  The local
+``bcast`` call then either finds the data already buffered (one copy) or
+blocks for it.
+
+Because broadcast data can arrive before the application announces any
+interest, ranks that enable this extension keep NIC signals pinned on (see
+:meth:`repro.core.engine.AbEngine.pin_signals`).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..errors import AbProtocolError
+from ..mpich.collectives import tree
+from ..mpich.communicator import Communicator
+from ..mpich.datatypes import DOUBLE, Datatype
+from ..mpich.message import TAG_BCAST, AbHeader, Envelope
+from ..sim.cpu import Ledger
+from ..sim.process import Busy, Trigger, WaitFor
+from .engine import AbEngine
+
+KIND = "bcast"
+
+
+class AbBroadcastStats:
+    __slots__ = ("bcasts", "forwards", "early_arrivals", "late_calls",
+                 "copies", "copied_bytes")
+
+    def __init__(self) -> None:
+        self.bcasts = 0
+        self.forwards = 0
+        self.early_arrivals = 0   # data arrived before the local call
+        self.late_calls = 0       # local call had to block for data
+        self.copies = 0
+        self.copied_bytes = 0
+
+
+class AbBroadcast:
+    """Per-rank application-bypass broadcast extension."""
+
+    def __init__(self, engine: AbEngine):
+        self.engine = engine
+        self.costs = engine.costs
+        self.sim = engine.sim
+        self.stats = AbBroadcastStats()
+        self._comms: dict[int, Communicator] = {}
+        self._instances: dict[int, int] = {}
+        #: Data that arrived before the local bcast call: (ctx, inst) -> array.
+        self._received: dict[tuple[int, int], np.ndarray] = {}
+        #: Local calls blocked for data: (ctx, inst) -> trigger.
+        self._waiting: dict[tuple[int, int], Trigger] = {}
+        engine.extensions[KIND] = self
+        engine.pin_signals()
+
+    def register_comm(self, comm: Communicator) -> None:
+        """Make a communicator's tree known before any data can arrive
+        (collective: every participating rank must register it)."""
+        self._comms[comm.coll_context] = comm
+
+    # ------------------------------------------------------------------
+    # hook side (runs inside the progress engine, sync or async)
+    # ------------------------------------------------------------------
+    def preprocess(self, env: Envelope, ledger: Ledger) -> bool:
+        header = env.ab
+        comm = self._comms.get(env.context_id)
+        if comm is None:
+            raise AbProtocolError(
+                f"AB bcast packet for unregistered context {env.context_id}")
+        self._forward(env, header, comm, ledger)
+        key = (env.context_id, header.instance)
+        trigger = self._waiting.pop(key, None)
+        data = np.array(env.data, copy=True)
+        ledger.charge(self.costs.copy_us(env.nbytes), "copy")
+        self.stats.copies += 1
+        self.stats.copied_bytes += env.nbytes
+        if trigger is not None:
+            trigger.fire(data)
+        else:
+            self.stats.early_arrivals += 1
+            self._received[key] = data
+        return True
+
+    def _forward(self, env: Envelope, header: AbHeader, comm: Communicator,
+                 ledger: Ledger) -> None:
+        """Send the payload down to this node's bcast-tree children *now*."""
+        me = comm.rank_of_world(self.engine.rank.rank)
+        root = comm.rank_of_world(header.root)
+        rel = tree.relative_rank(me, root, comm.size)
+        if rel == 0:
+            raise AbProtocolError("bcast root received its own broadcast")
+        mask = (rel & -rel) >> 1  # below our lowest set bit, descending
+        while mask > 0:
+            child_rel = rel + mask
+            if child_rel < comm.size:
+                child = comm.world_rank(
+                    tree.absolute_rank(child_rel, root, comm.size))
+                self.engine.rank.progress.start_send(
+                    env.data, child, TAG_BCAST, comm.coll_context, ledger,
+                    ab=header)
+                self.stats.forwards += 1
+            mask >>= 1
+
+    # ------------------------------------------------------------------
+    # application side
+    # ------------------------------------------------------------------
+    def bcast(self, data: Optional[np.ndarray], root: int,
+              comm: Communicator, *, count: Optional[int] = None,
+              dtype: Optional[Datatype] = None) -> Generator:
+        """Application-bypass ``MPI_Bcast``; returns the array everywhere."""
+        if comm.coll_context not in self._comms:
+            raise AbProtocolError("register_comm(comm) must precede bcast")
+        self.stats.bcasts += 1
+        me = comm.rank_of_world(self.engine.rank.rank)
+        rel = tree.relative_rank(me, root, comm.size)
+        instance = self._next_instance(comm)
+        ledger = Ledger()
+        ledger.charge(self.costs.call_overhead_us, "mpi")
+        ledger.charge(self.costs.ab_decision_us, "ab")
+
+        if rel == 0:
+            if data is None:
+                raise AbProtocolError("bcast root must supply data")
+            buf = np.array(data, copy=True)
+            header = AbHeader(root=comm.world_rank(root), instance=instance,
+                              kind=KIND)
+            mask = 1
+            while mask < comm.size:
+                mask <<= 1
+            mask >>= 1
+            while mask > 0:
+                if mask < comm.size:
+                    child = comm.world_rank(
+                        tree.absolute_rank(mask, root, comm.size))
+                    self.engine.rank.progress.start_send(
+                        buf, child, TAG_BCAST, comm.coll_context, ledger,
+                        ab=header)
+                mask >>= 1
+            yield Busy.from_ledger(ledger)
+            return buf
+
+        key = (comm.coll_context, instance)
+        stored = self._received.pop(key, None)
+        if stored is not None:
+            yield Busy.from_ledger(ledger)
+            return self._deliver(stored, data, count, dtype)
+
+        # Data not here yet: block (polling) until the hook hands it over.
+        self.stats.late_calls += 1
+        trigger = Trigger()
+        self._waiting[key] = trigger
+        yield Busy.from_ledger(ledger)
+        progress = self.engine.rank.progress
+        progress.active_depth += 1
+        try:
+            while not trigger.fired:
+                arm = self.engine.nic.rx_notifier.wait()
+                loop_ledger = Ledger()
+                progress.drain(loop_ledger)
+                if loop_ledger.total > 0.0:
+                    yield Busy.from_ledger(loop_ledger)
+                if trigger.fired:
+                    break
+                yield WaitFor(arm, poll_category="poll")
+        finally:
+            progress.active_depth -= 1
+        return self._deliver(trigger.value, data, count, dtype)
+
+    def _deliver(self, payload: np.ndarray, data: Optional[np.ndarray],
+                 count: Optional[int], dtype: Optional[Datatype]) -> np.ndarray:
+        if data is not None:
+            buf = np.asarray(data)
+            buf.reshape(-1)[: payload.size] = payload.reshape(-1)
+            return buf
+        if count is not None:
+            buf = (dtype or DOUBLE).buffer(count)
+            buf.reshape(-1)[: payload.size] = payload.reshape(-1)
+            return buf
+        return payload
+
+    def _next_instance(self, comm: Communicator) -> int:
+        ctx = comm.coll_context
+        nxt = self._instances.get(ctx, 0)
+        self._instances[ctx] = nxt + 1
+        return nxt

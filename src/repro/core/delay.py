@@ -1,0 +1,36 @@
+"""The exit-delay heuristic (paper Sec. IV-E).
+
+Before leaving ``MPI_Reduce`` with children still outstanding, an internal
+node may linger briefly, hoping late children catch up *inside* the call —
+each one caught avoids a signal.  Too short a window misses them; too long
+burns CPU that application bypass was supposed to save.  The paper's simple
+scheme scales the window with the number of processes in the reduction; we
+implement that plus fixed and linear variants for the ablation study.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import AbParams
+from ..errors import ConfigError
+
+POLICIES = ("none", "fixed", "log", "linear")
+
+
+def exit_delay_window(params: AbParams, size: int) -> float:
+    """Lingering window (microseconds) for a reduction over ``size`` ranks."""
+    if size < 1:
+        raise ConfigError(f"size must be >= 1, got {size}")
+    policy = params.exit_delay_policy
+    coeff = params.exit_delay_coeff_us
+    if policy == "none":
+        return 0.0
+    if policy == "fixed":
+        return coeff
+    if policy == "log":
+        return coeff * math.log2(max(size, 2))
+    if policy == "linear":
+        return coeff * size
+    raise ConfigError(f"unknown exit delay policy {policy!r}; "
+                      f"expected one of {POLICIES}")

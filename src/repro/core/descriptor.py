@@ -1,0 +1,120 @@
+"""Reduce descriptors and the descriptor queue (paper Sec. V-A).
+
+A descriptor holds everything the asynchronous side needs to finish a
+reduction after ``MPI_Reduce`` has returned: the intermediate result, the
+identity of the parent to send the final result to, and the list of children
+whose contributions are still pending.  The child list doubles as the
+matching key for late messages: an incoming AB packet matches the *oldest*
+descriptor still waiting on its sender, which is correct because GM delivers
+in order between any pair of endpoints and all ranks execute collectives in
+the same program order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AbProtocolError
+from ..mpich.operations import Op
+
+
+class ReduceDescriptor:
+    """State of one in-flight application-bypass reduction instance."""
+
+    __slots__ = ("context_id", "root_world", "instance", "parent_world",
+                 "children_world", "op", "acc", "tag", "_pending",
+                 "created_at", "removed", "sync_children", "async_children")
+
+    def __init__(self, context_id: int, root_world: int, instance: int,
+                 parent_world: int, children_world: list[int], op: Op,
+                 acc: np.ndarray, tag: int, created_at: float):
+        if not children_world:
+            raise AbProtocolError("descriptor for a node with no children "
+                                  "(leaves use the plain send path)")
+        self.context_id = context_id
+        self.root_world = root_world
+        self.instance = instance
+        self.parent_world = parent_world
+        self.children_world = list(children_world)
+        self.op = op
+        self.acc = acc
+        self.tag = tag
+        self._pending = set(children_world)
+        self.created_at = created_at
+        self.removed = False
+        #: How many children were folded in synchronously / asynchronously
+        #: (for the skew diagnostics in the reports).
+        self.sync_children = 0
+        self.async_children = 0
+
+    # ------------------------------------------------------------------
+    def is_pending(self, child_world: int) -> bool:
+        return child_world in self._pending
+
+    def pending_children(self) -> list[int]:
+        """Pending children in original (mask) order."""
+        return [c for c in self.children_world if c in self._pending]
+
+    def mark_done(self, child_world: int) -> None:
+        try:
+            self._pending.remove(child_world)
+        except KeyError:
+            raise AbProtocolError(
+                f"child {child_world} already handled for instance "
+                f"{self.instance}")
+
+    @property
+    def complete(self) -> bool:
+        return not self._pending
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ReduceDescriptor inst={self.instance} root={self.root_world} "
+                f"parent={self.parent_world} pending={sorted(self._pending)}>")
+
+
+class DescriptorQueue:
+    """FIFO of outstanding descriptors with sender-based matching."""
+
+    __slots__ = ("_entries", "enqueued", "dequeued", "max_len")
+
+    def __init__(self) -> None:
+        self._entries: list[ReduceDescriptor] = []
+        self.enqueued = 0
+        self.dequeued = 0
+        self.max_len = 0
+
+    def push(self, desc: ReduceDescriptor) -> None:
+        self._entries.append(desc)
+        self.enqueued += 1
+        self.max_len = max(self.max_len, len(self._entries))
+
+    def match(self, sender_world: int) -> Optional[ReduceDescriptor]:
+        """Oldest descriptor still waiting on ``sender_world``."""
+        for desc in self._entries:
+            if desc.is_pending(sender_world):
+                return desc
+        return None
+
+    def remove(self, desc: ReduceDescriptor) -> None:
+        if desc.removed:
+            raise AbProtocolError(
+                f"descriptor {desc.instance} removed twice")
+        try:
+            self._entries.remove(desc)
+        except ValueError:
+            raise AbProtocolError(
+                f"descriptor {desc.instance} not in queue")
+        desc.removed = True
+        self.dequeued += 1
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)

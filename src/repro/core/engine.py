@@ -1,0 +1,393 @@
+"""The application-bypass reduction engine (the paper's contribution).
+
+One :class:`AbEngine` is attached to each rank of an AB-build MPI library
+(:class:`repro.mpich.rank.MpiRank`).  It plays three roles:
+
+1. **Reduce entry point** (:meth:`AbEngine.reduce`) — the synchronous
+   component executed inside ``MPI_Reduce`` (paper Fig. 3): decide
+   ab-vs-fallback, build and enqueue the reduce descriptor, consume whatever
+   child contributions already arrived (from the AB unexpected queue or via
+   explicitly triggered progress), optionally linger inside the exit-delay
+   window (Sec. IV-E), then return — enabling NIC signals if any descriptor
+   is still outstanding.
+
+2. **Progress-engine hook** (:meth:`AbEngine.preprocess`, Fig. 4 gray boxes)
+   — pre-processes every incoming packet: non-AB packets pass through;
+   AB packets bound for a reduction this rank roots are routed to the
+   default synchronous path; everything else is matched against the
+   descriptor queue and absorbed (Fig. 5), or copied *once* into the custom
+   AB unexpected queue.
+
+3. **Asynchronous completion** — when a descriptor's last child is absorbed
+   (from the hook, regardless of whether a signal or an application MPI call
+   triggered progress), the final result is sent to the parent, the
+   descriptor is dequeued, and signals are disabled once the queue drains.
+
+Copy accounting (paper Sec. V-B/V-C): expected/late AB messages are combined
+straight from the packet buffer (zero host copies); early AB messages pay a
+single copy into the AB unexpected queue and are consumed from there.  The
+rejected reuse-the-MPICH-queues design (Sec. V-A) is retained behind
+``AbParams.reuse_mpich_queues`` as an ablation: it pays one extra copy per
+message plus management overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..config import AbParams
+from ..errors import AbProtocolError
+from ..mpich.collectives import tree
+from ..mpich.collectives.reduce import reduce_nab
+from ..mpich.communicator import Communicator
+from ..mpich.message import TAG_REDUCE, AbHeader, Envelope
+from ..mpich.operations import Op
+from ..sim.cpu import Ledger
+from ..sim.process import Busy, WaitFor
+from .delay import exit_delay_window
+from .descriptor import DescriptorQueue, ReduceDescriptor
+from .unexpected import AbUnexpectedQueue
+
+
+class AbStats:
+    """Per-rank counters for the application-bypass machinery."""
+
+    __slots__ = ("ab_reduces", "fallback_size", "root_reduces", "leaf_sends",
+                 "children_sync", "children_async", "children_from_unexpected",
+                 "expected_zero_copy", "unexpected_one_copy",
+                 "ab_copies", "ab_copied_bytes",
+                 "descriptors_completed_sync", "descriptors_completed_async",
+                 "window_expires", "window_catches")
+
+    def __init__(self) -> None:
+        self.ab_reduces = 0
+        self.fallback_size = 0
+        self.root_reduces = 0
+        self.leaf_sends = 0
+        self.children_sync = 0
+        self.children_async = 0
+        self.children_from_unexpected = 0
+        self.expected_zero_copy = 0
+        self.unexpected_one_copy = 0
+        self.ab_copies = 0
+        self.ab_copied_bytes = 0
+        self.descriptors_completed_sync = 0
+        self.descriptors_completed_async = 0
+        self.window_expires = 0
+        self.window_catches = 0
+
+
+class AbEngine:
+    """Application-bypass state machine for one rank."""
+
+    def __init__(self, rank, params: AbParams):
+        self.rank = rank
+        self.node = rank.node
+        self.costs = rank.costs
+        self.sim = rank.sim
+        self.params = params
+        self.nic = rank.node.nic
+        self.descriptors = DescriptorQueue()
+        self.unexpected = AbUnexpectedQueue()
+        self.stats = AbStats()
+        #: Per-collective-context instance counters; every rank advances
+        #: them identically because collectives execute in program order.
+        self._instances: dict[int, int] = {}
+        #: Extension hooks (application-bypass broadcast) keyed by
+        #: AbHeader.kind; see :mod:`repro.core.broadcast`.
+        self.extensions: dict[str, object] = {}
+        #: While > 0, NIC signals stay armed regardless of the reduce
+        #: descriptor queue (used by the broadcast and split-phase
+        #: extensions, whose asynchronous work is not descriptor-driven).
+        self.signal_pins = 0
+        #: >0 while this rank is inside the synchronous component of an AB
+        #: MPI_Reduce (Fig. 3).  Children absorbed then count as
+        #: synchronous; everything else is the asynchronous component.
+        self._sync_depth = 0
+
+    # ------------------------------------------------------------------
+    # signal pinning (extensions)
+    # ------------------------------------------------------------------
+    def pin_signals(self) -> None:
+        """Keep NIC signals enabled until :meth:`unpin_signals`."""
+        self.signal_pins += 1
+        if not self.nic.signals_enabled:
+            self.nic.enable_signals(Ledger())
+
+    def unpin_signals(self, ledger: Optional[Ledger] = None) -> None:
+        if self.signal_pins <= 0:
+            raise AbProtocolError("unbalanced unpin_signals")
+        self.signal_pins -= 1
+        if (self.signal_pins == 0 and self.descriptors.empty
+                and self.nic.signals_enabled):
+            self.nic.disable_signals(ledger if ledger is not None else Ledger())
+
+    # ==================================================================
+    # role 1: the MPI_Reduce entry point (synchronous component, Fig. 3)
+    # ==================================================================
+    def reduce(self, sendbuf: np.ndarray, op: Op, root: int,
+               comm: Communicator,
+               recvbuf: Optional[np.ndarray] = None) -> Generator:
+        """Application-bypass ``MPI_Reduce`` (falls back where the paper
+        does: message beyond the eager limit → default everywhere; root and
+        leaf ranks → default behaviour with AB packet framing)."""
+        size = comm.size
+        me = comm.rank_of_world(self.rank.rank)
+        if not (0 <= root < size):
+            raise ValueError(f"root {root} outside communicator of size {size}")
+
+        ledger = Ledger()
+        ledger.charge(self.costs.call_overhead_us, "mpi")
+        ledger.charge(self.costs.ab_decision_us, "ab")
+
+        nbytes = sendbuf.nbytes
+        if nbytes > min(self.costs.ab_eager_limit_bytes,
+                        self.costs.eager_limit_bytes):
+            # Rendezvous-sized payload: the whole tree falls back (every
+            # rank sees the same size, so the decision is globally
+            # consistent and no instance number is consumed).
+            self.stats.fallback_size += 1
+            yield Busy.from_ledger(ledger)
+            result = yield from reduce_nab(self.rank, sendbuf, op, root,
+                                           comm, recvbuf)
+            return result
+
+        if size == 1:
+            yield Busy.from_ledger(ledger)
+            if recvbuf is not None:
+                recvbuf[...] = np.asarray(sendbuf).reshape(recvbuf.shape)
+                return recvbuf
+            return np.array(sendbuf, copy=True)
+
+        instance = self._next_instance(comm)
+        ledger.charge(self.costs.tree_setup_us, "mpi")
+        rel = tree.relative_rank(me, root, size)
+        root_world = comm.world_rank(root)
+
+        if rel == 0:
+            # The root cannot bypass: MPI_Reduce must return the full result
+            # (paper Sec. II).  Children's AB packets are routed to the
+            # default matching path by the hook.
+            self.stats.root_reduces += 1
+            yield Busy.from_ledger(ledger)
+            result = yield from reduce_nab(self.rank, sendbuf, op, root,
+                                           comm, recvbuf)
+            return result
+
+        kids_rel = tree.children(rel, size)
+        header = AbHeader(root=root_world, instance=instance, kind="reduce")
+        if not kids_rel:
+            # Leaf: one AB-framed eager send to the parent; nothing to wait
+            # for (paper: leaves need no optimization, Sec. II).
+            self.stats.leaf_sends += 1
+            parent_world = comm.world_rank(
+                tree.absolute_rank(tree.parent(rel), root, size))
+            self.rank.progress.start_send(sendbuf, parent_world, TAG_REDUCE,
+                                          comm.coll_context, ledger,
+                                          ab=header)
+            yield Busy.from_ledger(ledger)
+            return None
+
+        # ----- internal node: the Fig. 3 flow -------------------------
+        self.stats.ab_reduces += 1
+        progress = self.rank.progress
+        # Everything from here to the exit is "progress underway": signals
+        # are explicitly disabled, and any child folded in during this span
+        # counts as synchronously processed.
+        progress.active_depth += 1
+        self._sync_depth += 1
+        try:
+            # "Disable signals": we are about to make progress explicitly.
+            # (Skipped while an extension has signals pinned — its
+            # asynchronous traffic must stay signal-driven.)
+            if self.signal_pins == 0:
+                self.nic.disable_signals(ledger)
+
+            acc = np.array(sendbuf, copy=True)
+            ledger.charge(self.costs.copy_us(acc.nbytes), "copy")
+            parent_world = comm.world_rank(
+                tree.absolute_rank(tree.parent(rel), root, size))
+            children_world = [
+                comm.world_rank(tree.absolute_rank(c, root, size))
+                for c in kids_rel
+            ]
+            desc = ReduceDescriptor(
+                context_id=comm.coll_context, root_world=root_world,
+                instance=instance, parent_world=parent_world,
+                children_world=children_world, op=op, acc=acc, tag=TAG_REDUCE,
+                created_at=self.sim.now)
+            ledger.charge(self.costs.ab_descriptor_us, "descriptor")
+            self.descriptors.push(desc)
+            self.node.tracer.emit("ab.descriptor.enqueue",
+                                  node=self.rank.rank, instance=instance,
+                                  children=len(children_world))
+
+            # Early arrivals already sit in the AB unexpected queue: consume
+            # them directly (their only copy already happened on arrival).
+            self._consume_unexpected(desc, ledger)
+            yield Busy.from_ledger(ledger)
+
+            # Walk/poll loop with the exit-delay window (Sec. IV-E).
+            deadline = self.sim.now + exit_delay_window(self.params, size)
+            while not desc.removed:
+                trigger = self.nic.rx_notifier.wait()
+                loop_ledger = Ledger()
+                progress.drain(loop_ledger)
+                if loop_ledger.total > 0.0:
+                    yield Busy.from_ledger(loop_ledger)
+                if desc.removed:
+                    self.stats.window_catches += 1
+                    break
+                if self.sim.now >= deadline:
+                    self.stats.window_expires += 1
+                    break
+                # Bounded wait: woken by the next arrival or the deadline.
+                self.sim.at(deadline, trigger.fire, None)
+                yield WaitFor(trigger, poll_category="poll")
+        finally:
+            progress.active_depth -= 1
+            self._sync_depth -= 1
+
+        # Exit: enable signals iff any descriptor remains outstanding
+        # (ours or an older one) — Fig. 3 bottom-left diamond.
+        exit_ledger = Ledger()
+        if not self.descriptors.empty or self.signal_pins > 0:
+            self.nic.enable_signals(exit_ledger)
+        if exit_ledger.total > 0.0:
+            yield Busy.from_ledger(exit_ledger)
+        return None
+
+    # ==================================================================
+    # role 2: the progress-engine pre-processing hook (Fig. 4)
+    # ==================================================================
+    def preprocess(self, env: Envelope, ledger: Ledger) -> bool:
+        """Examine one dequeued packet; True if consumed here."""
+        header = env.ab
+        if header is None:
+            return False
+        if header.kind != "reduce":
+            ext = self.extensions.get(header.kind)
+            if ext is None:
+                raise AbProtocolError(f"no handler for AB kind {header.kind!r}")
+            return ext.preprocess(env, ledger)
+        if header.root == self.rank.rank:
+            # This rank roots the instance.  The split-phase extension may
+            # have registered an asynchronous root state; otherwise the
+            # packet is strictly synchronous and handled by the default
+            # matching path (Fig. 4 "Root?" diamond).
+            ireduce = self.extensions.get("ireduce_root")
+            if ireduce is not None and ireduce.try_absorb(env, ledger):
+                return True
+            return False
+
+        ledger.charge(self.costs.ab_descriptor_match_us, "ab")
+        desc = self.descriptors.match(env.src)
+        if desc is None:
+            # Early (truly unexpected): one copy into the AB queue.
+            data = np.array(env.data, copy=True)
+            ledger.charge(self.costs.copy_us(env.nbytes), "copy")
+            self.stats.ab_copies += 1
+            self.stats.ab_copied_bytes += env.nbytes
+            self.stats.unexpected_one_copy += 1
+            if self.params.reuse_mpich_queues:
+                # Ablation: the rejected design buffers through MPICH's
+                # non-blocking machinery — a second copy plus management.
+                ledger.charge(self.costs.copy_us(env.nbytes), "copy")
+                ledger.charge(self.costs.ab_reuse_mgmt_us, "ab")
+                self.stats.ab_copies += 1
+                self.stats.ab_copied_bytes += env.nbytes
+            self.unexpected.put(env.src, header, data, self.sim.now)
+            return True
+
+        if desc.instance != header.instance:
+            raise AbProtocolError(
+                f"rank {self.rank.rank}: packet from {env.src} carries "
+                f"instance {header.instance} but matched descriptor "
+                f"{desc.instance} (FIFO ordering violated)")
+        # Expected or late: combined straight from the packet buffer —
+        # zero host copies (100% copy reduction, Sec. V-C).
+        self.stats.expected_zero_copy += 1
+        if self.params.reuse_mpich_queues:
+            ledger.charge(self.costs.copy_us(env.nbytes), "copy")
+            ledger.charge(self.costs.ab_reuse_mgmt_us, "ab")
+            self.stats.ab_copies += 1
+            self.stats.ab_copied_bytes += env.nbytes
+        self._absorb(desc, env.src, env.data, ledger)
+        return True
+
+    # ==================================================================
+    # role 3: absorption and asynchronous completion (Fig. 5)
+    # ==================================================================
+    def _absorb(self, desc: ReduceDescriptor, child_world: int,
+                data: np.ndarray, ledger: Ledger) -> None:
+        """Fold one child's contribution into the descriptor."""
+        ledger.charge(self.costs.op_us(desc.acc.size), "op")
+        desc.op.apply(desc.acc, data.reshape(desc.acc.shape))
+        desc.mark_done(child_world)
+        in_sync = self._sync_depth > 0
+        if in_sync:
+            desc.sync_children += 1
+            self.stats.children_sync += 1
+        else:
+            desc.async_children += 1
+            self.stats.children_async += 1
+        if desc.complete:
+            self._finish(desc, ledger, completed_async=not in_sync)
+
+    def _finish(self, desc: ReduceDescriptor, ledger: Ledger,
+                completed_async: bool) -> None:
+        """All children handled: send to parent, dequeue, idle the NIC."""
+        header = AbHeader(root=desc.root_world, instance=desc.instance,
+                          kind="reduce")
+        self.rank.progress.start_send(desc.acc, desc.parent_world, desc.tag,
+                                      desc.context_id, ledger, ab=header)
+        self.descriptors.remove(desc)
+        if completed_async:
+            self.stats.descriptors_completed_async += 1
+        else:
+            self.stats.descriptors_completed_sync += 1
+        self.node.tracer.emit("ab.descriptor.complete",
+                              node=self.rank.rank, instance=desc.instance,
+                              mode="async" if completed_async else "sync",
+                              span=self.sim.now - desc.created_at)
+        if (self.descriptors.empty and self.signal_pins == 0
+                and self.nic.signals_enabled):
+            # "Descriptor queue empty? -> Disable signals" (Fig. 5).
+            self.nic.disable_signals(ledger)
+
+    def _consume_unexpected(self, desc: ReduceDescriptor,
+                            ledger: Ledger) -> None:
+        """Fold in early arrivals buffered before the descriptor existed.
+
+        Entries are consumed directly from the AB unexpected queue — the
+        copy they already paid on arrival is their only one (Sec. V-B).
+        """
+        for child in desc.pending_children():
+            entry = self.unexpected.take(child)
+            if entry is None:
+                continue
+            if entry.header.instance != desc.instance:
+                raise AbProtocolError(
+                    f"rank {self.rank.rank}: unexpected entry from "
+                    f"{child} has instance {entry.header.instance}, "
+                    f"descriptor expects {desc.instance}")
+            ledger.charge(self.costs.ab_descriptor_match_us, "ab")
+            self.stats.children_from_unexpected += 1
+            self._absorb(desc, child, entry.data, ledger)
+            if desc.removed:
+                break
+
+    # ------------------------------------------------------------------
+    def _next_instance(self, comm: Communicator) -> int:
+        ctx = comm.coll_context
+        nxt = self._instances.get(ctx, 0)
+        self._instances[ctx] = nxt + 1
+        return nxt
+
+    @property
+    def outstanding(self) -> int:
+        """Number of reductions currently delegated to asynchronous
+        processing on this rank."""
+        return len(self.descriptors)

@@ -1,0 +1,22 @@
+"""Per-figure experiment drivers (see DESIGN.md §4 for the index)."""
+
+from . import ablations, extensions, fig6, fig7, fig8, fig9, fig10, scale
+from .common import (ExperimentOutput, PAPER_ELEMENTS, PAPER_MSG_SIZES,
+                     PAPER_SIZES, PAPER_SKEWS)
+
+EXPERIMENTS = {
+    "fig6": fig6.main,
+    "fig7": fig7.main,
+    "fig8": fig8.main,
+    "fig9": fig9.main,
+    "fig10": fig10.main,
+    "ablations": ablations.main,
+    "extensions": extensions.main,
+    "scale": scale.main,
+}
+
+__all__ = [
+    "fig6", "fig7", "fig8", "fig9", "fig10", "ablations", "extensions",
+    "scale", "EXPERIMENTS", "ExperimentOutput",
+    "PAPER_SIZES", "PAPER_ELEMENTS", "PAPER_SKEWS", "PAPER_MSG_SIZES",
+]

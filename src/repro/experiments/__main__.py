@@ -1,0 +1,34 @@
+"""CLI dispatcher: ``python -m repro.experiments <experiment> [flags]``."""
+
+from __future__ import annotations
+
+import sys
+
+from . import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        names = ", ".join(sorted(EXPERIMENTS))
+        print("usage: python -m repro.experiments <experiment> [flags]")
+        print(f"experiments: {names}, all")
+        print("common flags: --iterations N --seed N --quick")
+        return 0
+    name, rest = argv[0], argv[1:]
+    if name == "all":
+        for key in ("fig6", "fig7", "fig8", "fig9", "fig10", "ablations",
+                    "extensions", "scale"):
+            EXPERIMENTS[key](rest)
+        return 0
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        print(f"unknown experiment {name!r}; "
+              f"choose from {sorted(EXPERIMENTS)} or 'all'", file=sys.stderr)
+        return 2
+    runner(rest)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Shared plumbing for the figure-reproduction drivers.
+
+Every experiment module exposes ``run(**kwargs) -> ExperimentOutput`` plus a
+``main(argv)`` that parses the common flags.  The CLI entry point is::
+
+    python -m repro.experiments <fig6|fig7|fig8|fig9|fig10|ablations> [flags]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..bench.report import Table
+
+#: The paper's node counts (Figs. 7-9) and message sizes (Figs. 6-8).
+PAPER_SIZES = (2, 4, 8, 16, 32)
+PAPER_ELEMENTS = (4, 32, 128)
+#: Fig. 6 skew axis (paper: 0..1000 us).
+PAPER_SKEWS = (0.0, 200.0, 400.0, 600.0, 800.0, 1000.0)
+#: Fig. 10 message-size axis (paper: 1..128 elements).
+PAPER_MSG_SIZES = (1, 8, 16, 32, 48, 64, 96, 128)
+
+
+@dataclass
+class ExperimentOutput:
+    """Tables plus free-form findings from one experiment driver."""
+
+    name: str
+    tables: list[Table] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = []
+        for table in self.tables:
+            parts.append(table.render())
+            parts.append("")
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+        return "\n".join(parts)
+
+
+def make_parser(description: str, *, default_iterations: int) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--iterations", type=int, default=default_iterations,
+                        help="measured iterations per data point "
+                             f"(default {default_iterations}; the paper "
+                             "used 10,000 on noisy real hardware — virtual "
+                             "time needs far fewer)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="master RNG seed (default 1)")
+    parser.add_argument("--quick", action="store_true",
+                        help="cut iterations ~4x for a fast smoke run")
+    return parser
+
+
+def effective_iterations(args: argparse.Namespace) -> int:
+    iters = args.iterations
+    if args.quick:
+        iters = max(5, iters // 4)
+    return iters
+
+
+def print_progress(line: str) -> None:
+    print(f"    {line}", flush=True)
+
+
+def banner(title: str) -> None:
+    print()
+    print(f"### {title}")
+    print()

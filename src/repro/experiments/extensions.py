@@ -1,0 +1,131 @@
+"""Extension experiments (the paper's Sec. VII future work, measured):
+
+1. NIC-based reduction vs. host-side application bypass vs. default —
+   refs. [10]/[11]'s trade-off;
+2. application-kernel evaluation — where bypass helps real communication
+   skeletons, and where synchronizing collectives cap it;
+3. pipelined CG with the split-phase reduce — the remedy for case 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..apps import cg_pipelined, compare_builds, conjugate_gradient
+from ..bench.cpu_util import cpu_util_benchmark
+from ..bench.nicred import nicred_cpu_util, nicred_latency
+from ..bench.report import Table
+from ..config import paper_cluster
+from ..mpich.rank import MpiBuild
+from ..runtime.program import run_program
+from .common import (ExperimentOutput, banner, effective_iterations,
+                     make_parser, print_progress)
+
+
+def run_nicred(*, size: int = 16, iterations: int = 30, seed: int = 1,
+               progress=None) -> Table:
+    element_sizes = (4, 32, 128, 512)
+    table = Table(f"NIC-based vs host-ab vs nab: CPU util @1000us skew "
+                  f"({size} nodes)", "elements", element_sizes)
+    nabs, abs_, nics = [], [], []
+    for elements in element_sizes:
+        cfg = paper_cluster(size, seed=seed)
+        nabs.append(cpu_util_benchmark(cfg, MpiBuild.DEFAULT,
+                                       elements=elements,
+                                       max_skew_us=1000.0,
+                                       iterations=iterations).avg_util_us)
+        abs_.append(cpu_util_benchmark(cfg, MpiBuild.AB, elements=elements,
+                                       max_skew_us=1000.0,
+                                       iterations=iterations).avg_util_us)
+        nics.append(nicred_cpu_util(cfg, elements=elements,
+                                    max_skew_us=1000.0,
+                                    iterations=iterations))
+        if progress:
+            progress(f"elements={elements}: nab={nabs[-1]:.1f} "
+                     f"ab={abs_[-1]:.1f} nic={nics[-1]:.1f}")
+    table.add_series("nab", nabs)
+    table.add_series("host-ab", abs_)
+    table.add_series("nic-based", nics)
+    return table
+
+
+def run_apps(*, size: int = 16, seed: int = 1, progress=None) -> Table:
+    cases = [
+        ("jacobi", dict(iterations=15, imbalance=1.0)),
+        ("cg", dict(iterations=10)),
+        ("particles", dict(iterations=15)),
+        ("particles", dict(iterations=15, rebalance_every=5)),
+    ]
+    table = Table(f"Application kernels ({size} ranks): non-root us "
+                  "blocked in collectives", "case", list(range(len(cases))))
+    nab_col, ab_col, factor_col, labels = [], [], [], []
+    for kernel, kwargs in cases:
+        comp = compare_builds(kernel, paper_cluster(size, seed=seed),
+                              **kwargs)
+        label = kernel + ("+bcast" if kwargs.get("rebalance_every") else "")
+        labels.append(label)
+        nab_col.append(comp.nonroot_mean_collective_us(MpiBuild.DEFAULT))
+        ab_col.append(comp.nonroot_mean_collective_us(MpiBuild.AB))
+        factor_col.append(comp.blocking_improvement)
+        if progress:
+            progress(comp.summary())
+    table.add_series("nab", nab_col)
+    table.add_series("ab", ab_col)
+    table.add_series("improvement", factor_col)
+    table.title += "  [" + ", ".join(f"{i}={l}" for i, l in
+                                     enumerate(labels)) + "]"
+    return table
+
+
+def run_pipelined_cg(*, size: int = 16, iterations: int = 12, seed: int = 1,
+                     progress=None) -> str:
+    blocking = run_program(paper_cluster(size, seed=seed),
+                           conjugate_gradient(iterations=iterations),
+                           build=MpiBuild.AB)
+    pipelined = run_program(paper_cluster(size, seed=seed),
+                            cg_pipelined(iterations=iterations),
+                            build=MpiBuild.AB)
+    b_wall = float(np.mean([s.wall_us for s in blocking.results]))
+    p_wall = float(np.mean([s.wall_us for s in pipelined.results]))
+    b_coll = float(np.mean([s.collective_us for s in blocking.results]))
+    p_coll = float(np.mean([s.collective_us for s in pipelined.results]))
+    line = (f"pipelined CG ({size} ranks, {iterations} iters): wall "
+            f"{b_wall:.0f} -> {p_wall:.0f}us ({b_wall / p_wall:.2f}x), "
+            f"collective blocking {b_coll:.0f} -> {p_coll:.0f}us "
+            f"({b_coll / p_coll:.2f}x)")
+    if progress:
+        progress(line)
+    return line
+
+
+def run(*, iterations: int = 30, seed: int = 1,
+        progress=None) -> ExperimentOutput:
+    out = ExperimentOutput("extensions")
+    out.tables.append(run_nicred(iterations=iterations, seed=seed,
+                                 progress=progress))
+    out.tables.append(run_apps(seed=seed, progress=progress))
+    out.notes.append(run_pipelined_cg(seed=seed, progress=progress))
+    cfg = paper_cluster(16, seed=seed)
+    lat_small = nicred_latency(cfg, elements=4, iterations=iterations)
+    lat_big = nicred_latency(cfg, elements=512, iterations=iterations)
+    out.notes.append(
+        f"nicred latency {lat_small:.1f}us @4 elements vs {lat_big:.1f}us "
+        "@512 — ref. [11]'s slow-NIC-ALU caveat")
+    return out
+
+
+def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
+    parser = make_parser(__doc__.splitlines()[0], default_iterations=30)
+    args = parser.parse_args(argv)
+    banner("Extensions: NIC-based reduction, application kernels, "
+           "pipelined CG")
+    out = run(iterations=effective_iterations(args), seed=args.seed,
+              progress=print_progress)
+    print(out.render())
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,55 @@
+"""Fig. 10 — reduction latency vs. message size, 32 nodes, no injected skew.
+
+Paper headline: both builds' latency grows with message size; the
+application-bypass build pays a signal-related latency penalty that
+"stabilizes and remains fairly constant as the number of elements
+increases".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..bench.sweep import latency_vs_message_size
+from ..config import paper_cluster
+from .common import (ExperimentOutput, PAPER_MSG_SIZES, banner,
+                     effective_iterations, make_parser, print_progress)
+
+
+def run(*, size: int = 32, element_sizes: Sequence[int] = PAPER_MSG_SIZES,
+        iterations: int = 120, seed: int = 1,
+        progress=None) -> ExperimentOutput:
+    config = paper_cluster(size, seed=seed)
+    table, raw = latency_vs_message_size(config, element_sizes=element_sizes,
+                                         iterations=iterations,
+                                         progress=progress)
+    table.title = "Fig 10: " + table.title
+    out = ExperimentOutput("fig10", [table])
+
+    gaps = np.asarray(table._find("ab-nab gap").values)
+    out.notes.append(
+        f"ab-nab latency gap across sizes: min {gaps.min():.1f}us, "
+        f"max {gaps.max():.1f}us, mean {gaps.mean():.1f}us "
+        "(paper: positive and fairly constant)")
+    nab = table._find("nab").values
+    out.notes.append(
+        f"nab latency grows with size: {nab[0]:.1f}us at "
+        f"{element_sizes[0]} elements -> {nab[-1]:.1f}us at "
+        f"{element_sizes[-1]} elements")
+    return out
+
+
+def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
+    parser = make_parser(__doc__.splitlines()[0], default_iterations=120)
+    args = parser.parse_args(argv)
+    banner("Fig. 10: reduction latency vs. message size (32 nodes)")
+    out = run(iterations=effective_iterations(args), seed=args.seed,
+              progress=print_progress)
+    print(out.render())
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

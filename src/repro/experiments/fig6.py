@@ -1,0 +1,61 @@
+"""Fig. 6 — CPU utilization and factor of improvement vs. process skew.
+
+32 nodes, double-word messages of 4/32/128 elements, maximum skew swept
+0..1000 us.  Paper headline: the application-bypass build wins at every
+(skew, size) point, with a factor of improvement up to 5.1 at 4 elements
+and 1000 us of skew, and the factor is greatest for small messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..bench.sweep import cpu_util_vs_skew
+from ..config import paper_cluster
+from .common import (ExperimentOutput, PAPER_ELEMENTS, PAPER_SKEWS, banner,
+                     effective_iterations, make_parser, print_progress)
+
+
+def run(*, size: int = 32, skews: Sequence[float] = PAPER_SKEWS,
+        element_sizes: Sequence[int] = PAPER_ELEMENTS,
+        iterations: int = 100, seed: int = 1,
+        progress=None) -> ExperimentOutput:
+    config = paper_cluster(size, seed=seed)
+    table, raw = cpu_util_vs_skew(config, skews=skews,
+                                  element_sizes=element_sizes,
+                                  iterations=iterations, progress=progress)
+    out = ExperimentOutput("fig6", [table])
+
+    # Headline checks mirrored from the paper's text.
+    factors = {
+        elements: table._find(f"factor-{elements}").values
+        for elements in element_sizes
+    }
+    peak = max(max(v) for v in factors.values())
+    smallest = min(element_sizes)
+    peak_small = max(factors[smallest])
+    out.notes.append(
+        f"max factor of improvement {peak:.2f} (paper: 5.1)")
+    out.notes.append(
+        f"factor at max skew, {smallest} elements: "
+        f"{factors[smallest][-1]:.2f} — paper reports the peak at the "
+        f"smallest message size ({peak_small:.2f} here)")
+    monotone = all(factors[smallest][i] <= factors[smallest][i + 1] + 0.35
+                   for i in range(len(skews) - 1))
+    out.notes.append(
+        f"factor grows with skew: {'yes' if monotone else 'roughly'}")
+    return out
+
+
+def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
+    parser = make_parser(__doc__.splitlines()[0], default_iterations=100)
+    args = parser.parse_args(argv)
+    banner("Fig. 6: CPU utilization vs. process skew (32 nodes)")
+    out = run(iterations=effective_iterations(args), seed=args.seed,
+              progress=print_progress)
+    print(out.render())
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,54 @@
+"""Fig. 7 — CPU utilization and factor of improvement vs. system size,
+at maximal process skew (1000 us).
+
+Paper headline: the factor of improvement *increases with the number of
+nodes* (max 5.1 at 32 nodes / 4 elements), demonstrating the enhanced
+scalability of the application-bypass implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..bench.sweep import cpu_util_vs_nodes
+from ..config import paper_cluster
+from .common import (ExperimentOutput, PAPER_ELEMENTS, PAPER_SIZES, banner,
+                     effective_iterations, make_parser, print_progress)
+
+
+def run(*, sizes: Sequence[int] = PAPER_SIZES,
+        element_sizes: Sequence[int] = PAPER_ELEMENTS,
+        max_skew_us: float = 1000.0, iterations: int = 100, seed: int = 1,
+        progress=None) -> ExperimentOutput:
+    table, raw = cpu_util_vs_nodes(
+        lambda n: paper_cluster(n, seed=seed),
+        sizes=sizes, element_sizes=element_sizes, max_skew_us=max_skew_us,
+        iterations=iterations, progress=progress)
+    out = ExperimentOutput("fig7", [table])
+
+    smallest = min(element_sizes)
+    factors = table._find(f"factor-{smallest}").values
+    out.notes.append(
+        f"factor at {sizes[-1]} nodes, {smallest} elements: "
+        f"{factors[-1]:.2f} (paper: 5.1)")
+    grows = factors[-1] > factors[0]
+    out.notes.append(
+        "factor of improvement increases with system size: "
+        f"{'yes' if grows else 'NO'} "
+        f"({factors[0]:.2f} at {sizes[0]} nodes -> "
+        f"{factors[-1]:.2f} at {sizes[-1]} nodes)")
+    return out
+
+
+def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
+    parser = make_parser(__doc__.splitlines()[0], default_iterations=100)
+    args = parser.parse_args(argv)
+    banner("Fig. 7: CPU utilization vs. nodes (max skew 1000 us)")
+    out = run(iterations=effective_iterations(args), seed=args.seed,
+              progress=print_progress)
+    print(out.render())
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,65 @@
+"""Fig. 9 — reduction latency vs. system size, no injected skew,
+single-element double-word messages.
+
+(a) the heterogeneous 32-node cluster; (b) the homogeneous 16-node
+(700 MHz) cluster.  Paper headline: latencies are nearly identical at small
+node counts; past four nodes the application-bypass build pays signal
+overhead for naturally late messages and its latency sits above the
+default's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..bench.sweep import latency_vs_nodes
+from ..config import homogeneous_cluster, paper_cluster
+from .common import (ExperimentOutput, banner, effective_iterations,
+                     make_parser, print_progress)
+
+HETERO_SIZES = (2, 4, 8, 16, 32)
+HOMO_SIZES = (2, 4, 8, 16)
+
+
+def run(*, hetero_sizes: Sequence[int] = HETERO_SIZES,
+        homo_sizes: Sequence[int] = HOMO_SIZES,
+        iterations: int = 150, seed: int = 1,
+        progress=None) -> ExperimentOutput:
+    table_a, raw_a = latency_vs_nodes(
+        lambda n: paper_cluster(n, seed=seed),
+        sizes=hetero_sizes, elements=1, iterations=iterations,
+        progress=progress)
+    table_a.title = "Fig 9a: " + table_a.title + " [heterogeneous]"
+    table_b, raw_b = latency_vs_nodes(
+        lambda n: homogeneous_cluster(n, seed=seed),
+        sizes=homo_sizes, elements=1, iterations=iterations,
+        progress=progress)
+    table_b.title = "Fig 9b: " + table_b.title + " [homogeneous 700MHz]"
+    out = ExperimentOutput("fig9", [table_a, table_b])
+
+    nab_a = table_a._find("nab").values
+    ab_a = table_a._find("ab").values
+    small_gap = abs(ab_a[0] - nab_a[0])
+    big_gap = ab_a[-1] - nab_a[-1]
+    out.notes.append(
+        f"gap at {hetero_sizes[0]} nodes: {small_gap:.1f}us "
+        f"(paper: nearly identical); gap at {hetero_sizes[-1]} nodes: "
+        f"{big_gap:.1f}us (paper: ab visibly above nab)")
+    out.notes.append(
+        "ab latency exceeds nab past small node counts: "
+        f"{'yes' if big_gap > small_gap else 'NO'}")
+    return out
+
+
+def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
+    parser = make_parser(__doc__.splitlines()[0], default_iterations=150)
+    args = parser.parse_args(argv)
+    banner("Fig. 9: reduction latency vs. nodes (no skew)")
+    out = run(iterations=effective_iterations(args), seed=args.seed,
+              progress=print_progress)
+    print(out.render())
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

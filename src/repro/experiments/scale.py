@@ -1,0 +1,81 @@
+"""Scalability extrapolation beyond the paper's testbed.
+
+The paper's conclusion: "the factor of improvement increases with system
+size, indicating that the skew-tolerant benefits of our application-bypass
+implementation will lead to better scalability ... on larger clusters",
+and its future work begins with "we intend to evaluate the performance of
+application-bypass operations on large-scale clusters."
+
+The authors had 32 nodes; the simulator does not.  This experiment tiles
+the same interlaced machine mix out to 256 nodes and re-runs the Fig. 7
+protocol (CPU utilization at 1000 us max skew), checking that the factor
+keeps climbing — the trend the whole paper is arguing for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..bench.cpu_util import cpu_util_benchmark
+from ..bench.report import Table
+from ..config import extrapolated_cluster
+from ..mpich.rank import MpiBuild
+from .common import (ExperimentOutput, banner, effective_iterations,
+                     make_parser, print_progress)
+
+SCALE_SIZES = (16, 32, 64, 128, 256)
+
+
+def run(*, sizes: Sequence[int] = SCALE_SIZES, elements: int = 4,
+        max_skew_us: float = 1000.0, iterations: int = 20, seed: int = 1,
+        progress=None) -> ExperimentOutput:
+    table = Table(
+        f"Scalability extrapolation: factor of improvement vs. nodes "
+        f"(skew {max_skew_us:.0f}us, {elements} elements)",
+        "nodes", sizes)
+    nabs, abs_, signals = [], [], []
+    for size in sizes:
+        cfg = extrapolated_cluster(size, seed=seed)
+        nab = cpu_util_benchmark(cfg, MpiBuild.DEFAULT, elements=elements,
+                                 max_skew_us=max_skew_us,
+                                 iterations=iterations)
+        ab = cpu_util_benchmark(cfg, MpiBuild.AB, elements=elements,
+                                max_skew_us=max_skew_us,
+                                iterations=iterations)
+        nabs.append(nab.avg_util_us)
+        abs_.append(ab.avg_util_us)
+        signals.append(float(ab.signals))
+        if progress:
+            progress(f"n={size}: nab={nab.avg_util_us:.1f}us "
+                     f"ab={ab.avg_util_us:.1f}us "
+                     f"factor={nab.avg_util_us / ab.avg_util_us:.2f}")
+    table.add_series("nab", nabs)
+    table.add_series("ab", abs_)
+    table.factor_series("factor", "nab", "ab")
+
+    out = ExperimentOutput("scale", [table])
+    factors = table._find("factor").values
+    grows = all(b > a for a, b in zip(factors, factors[1:]))
+    out.notes.append(
+        f"factor keeps increasing beyond the paper's 32 nodes: "
+        f"{'yes' if grows else 'NO'} "
+        f"({', '.join(f'{s}:{f:.2f}' for s, f in zip(sizes, factors))})")
+    out.notes.append(
+        "mechanism: the default build's average utilization saturates near "
+        "E[max skew] x tree-shape while the bypass build's per-node cost "
+        "keeps falling as leaves dominate the population")
+    return out
+
+
+def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
+    parser = make_parser(__doc__.splitlines()[0], default_iterations=20)
+    args = parser.parse_args(argv)
+    banner("Scalability extrapolation (16..256 nodes)")
+    out = run(iterations=effective_iterations(args), seed=args.seed,
+              progress=print_progress)
+    print(out.render())
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,12 @@
+"""GM / Myrinet NIC substrate: packets, pinned memory, the NIC model and
+its NIC-to-host signal path (the paper's GM 1.5.2.1 modification)."""
+
+from .memory import PAGE_BYTES, PinnedMemoryManager, Registration
+from .nic import Nic, NicStats, SignalHandler
+from .packet import Packet, PacketType
+
+__all__ = [
+    "Packet", "PacketType",
+    "Nic", "NicStats", "SignalHandler",
+    "PinnedMemoryManager", "Registration", "PAGE_BYTES",
+]

@@ -1,0 +1,68 @@
+"""GM packet types and the wire-level packet object.
+
+The payload carried by a :class:`Packet` is opaque to the GM layer (the MPI
+layer above puts its message envelope there).  The one GM-visible distinction
+the paper adds is the **collective packet type** (``AB_COLLECTIVE``): the
+modified NIC control program raises a host signal *only* for packets of this
+type, and only while the host has signals enabled (paper Sec. V-A).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any
+
+
+class PacketType(enum.Enum):
+    """GM packet classes used by the MPICH-over-GM protocol."""
+
+    #: Small message: data travels with the envelope (copied through
+    #: pre-pinned bounce buffers on both ends).
+    EAGER = "eager"
+    #: Rendezvous request-to-send (envelope only).
+    RNDV_RTS = "rndv_rts"
+    #: Rendezvous clear-to-send (receiver pinned its buffer).
+    RNDV_CTS = "rndv_cts"
+    #: Rendezvous bulk data (lands directly in the pinned user buffer).
+    RNDV_DATA = "rndv_data"
+    #: The paper's new collective packet type for application-bypass
+    #: reduction (and the broadcast extension).
+    AB_COLLECTIVE = "ab_collective"
+    #: NIC-resident collective (the future-work extension, refs. [10]/[11]):
+    #: combined by the LANai control program, never DMA'd to intermediate
+    #: hosts.
+    NIC_COLLECTIVE = "nic_collective"
+    #: GM-internal control traffic.
+    CONTROL = "control"
+
+
+_packet_seq = itertools.count(1)
+
+
+class Packet:
+    """One packet in flight between two NICs."""
+
+    __slots__ = ("src", "dst", "ptype", "nbytes", "payload", "seq", "gseq")
+
+    def __init__(self, src: int, dst: int, ptype: PacketType, nbytes: int,
+                 payload: Any):
+        if nbytes < 0:
+            raise ValueError("negative payload size")
+        self.src = src
+        self.dst = dst
+        self.ptype = ptype
+        self.nbytes = nbytes
+        self.payload = payload
+        self.seq = next(_packet_seq)
+        #: Per-(src, dst) reliable-delivery sequence number; stamped by the
+        #: sending NIC when the fabric is lossy (see gm.reliability).
+        self.gseq: int = -1
+
+    def wire_bytes(self, header_bytes: int) -> int:
+        """Bytes occupying the wire: payload plus GM header/CRC."""
+        return self.nbytes + header_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Packet #{self.seq} {self.src}->{self.dst} "
+                f"{self.ptype.value} {self.nbytes}B>")

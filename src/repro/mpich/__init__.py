@@ -1,0 +1,29 @@
+"""MPICH-over-GM message passing layer.
+
+Progress engine, matching queues, point-to-point (eager + rendezvous) and
+binomial-tree collectives — the substrate the paper's application-bypass
+reduction (:mod:`repro.core`) plugs into.
+"""
+
+from .communicator import Communicator, world_communicator
+from .datatypes import BYTE, DOUBLE, FLOAT, INT, LONG, Datatype, from_array
+from .message import (ANY_SOURCE, ANY_TAG, TAG_BARRIER, TAG_BCAST,
+                      TAG_NOTIFY, TAG_REDUCE, AbHeader, Envelope,
+                      TransferKind)
+from .operations import (BAND, BOR, BUILTIN_OPS, BXOR, MAX, MIN, PROD, SUM,
+                         Op, user_op)
+from .progress import ProgressEngine
+from .rank import MpiBuild, MpiRank
+from .requests import Request, Status
+
+__all__ = [
+    "MpiRank", "MpiBuild", "ProgressEngine",
+    "Communicator", "world_communicator",
+    "Request", "Status",
+    "Envelope", "AbHeader", "TransferKind",
+    "ANY_SOURCE", "ANY_TAG",
+    "TAG_REDUCE", "TAG_BCAST", "TAG_BARRIER", "TAG_NOTIFY",
+    "Op", "SUM", "PROD", "MIN", "MAX", "BAND", "BOR", "BXOR",
+    "BUILTIN_OPS", "user_op",
+    "Datatype", "DOUBLE", "FLOAT", "INT", "LONG", "BYTE", "from_array",
+]

@@ -1,0 +1,27 @@
+"""All-reduce as reduce-to-zero plus broadcast (the MPICH 1.2.x approach
+for general communicator sizes)."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..communicator import Communicator
+from ..datatypes import from_array
+from ..operations import Op
+
+
+def allreduce_reduce_bcast(rank, sendbuf: np.ndarray, op: Op,
+                           comm: Communicator) -> Generator:
+    """Reduce to comm rank 0, then broadcast; every rank returns the total."""
+    result = yield from rank.reduce(sendbuf, op=op, root=0, comm=comm)
+    me = comm.rank_of_world(rank.rank)
+    if me == 0:
+        out = yield from rank.bcast(result, root=0, comm=comm)
+    else:
+        out = yield from rank.bcast(None, root=0, comm=comm,
+                                    count=sendbuf.size,
+                                    dtype=from_array(sendbuf))
+        out = out.reshape(sendbuf.shape)
+    return out

@@ -1,0 +1,75 @@
+"""Binomial-tree broadcast (default MPICH algorithm).
+
+Each non-root rank receives from its tree parent, then forwards to its
+children in decreasing-mask order (deepest subtree first, which maximizes
+pipelining down the tree).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ...errors import MpiError
+from ...sim.cpu import Ledger
+from ...sim.process import Busy
+from ..communicator import Communicator
+from ..datatypes import DOUBLE, Datatype
+from ..message import TAG_BCAST
+from . import tree
+
+
+def bcast_binomial(rank, data: Optional[np.ndarray], root: int,
+                   comm: Communicator, *, count: Optional[int] = None,
+                   dtype: Optional[Datatype] = None,
+                   tag: int = TAG_BCAST) -> Generator:
+    """Broadcast ``data`` from ``root``; every rank returns the array.
+
+    Non-root ranks either pass a pre-sized ``data`` buffer or give
+    ``count`` (and optionally ``dtype``, default double) for allocation.
+    """
+    size = comm.size
+    me = comm.rank_of_world(rank.rank)
+    if not (0 <= root < size):
+        raise ValueError(f"root {root} outside communicator of size {size}")
+    rel = tree.relative_rank(me, root, size)
+
+    costs = rank.costs
+    ledger = Ledger()
+    ledger.charge(costs.call_overhead_us, "mpi")
+    ledger.charge(costs.tree_setup_us, "mpi")
+
+    if rel == 0:
+        if data is None:
+            raise MpiError("bcast root must supply data")
+        buf = np.array(data, copy=True)
+    else:
+        if data is not None:
+            buf = np.asarray(data)
+        elif count is not None:
+            buf = (dtype or DOUBLE).buffer(count)
+        else:
+            raise MpiError("non-root bcast needs a buffer or a count")
+    yield Busy.from_ledger(ledger)
+
+    # Receive phase: wait for the parent's copy.
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = tree.absolute_rank(rel & ~mask, root, size)
+            yield from rank.recv(buf, parent, tag, comm,
+                                 _context=comm.coll_context)
+            break
+        mask <<= 1
+
+    # Forward phase: decreasing mask.
+    mask >>= 1
+    while mask > 0:
+        child_rel = rel + mask
+        if child_rel < size:
+            child = tree.absolute_rank(child_rel, root, size)
+            yield from rank.send(buf, child, tag, comm,
+                                 _context=comm.coll_context)
+        mask >>= 1
+    return buf

@@ -1,0 +1,40 @@
+"""Linear gather (root receives one message per rank).
+
+Sufficient for result collection in the benchmarks; not on any timing-
+critical path of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..communicator import Communicator
+from ..message import TAG_GATHER
+
+
+def gather_linear(rank, senddata: np.ndarray, root: int,
+                  comm: Communicator, tag: int = TAG_GATHER) -> Generator:
+    """Root returns ``[array from rank 0, array from rank 1, ...]``;
+    everyone else returns None."""
+    size = comm.size
+    me = comm.rank_of_world(rank.rank)
+    if not (0 <= root < size):
+        raise ValueError(f"root {root} outside communicator of size {size}")
+
+    if me != root:
+        yield from rank.send(senddata, root, tag, comm,
+                             _context=comm.coll_context)
+        return None
+
+    results: list[Optional[np.ndarray]] = [None] * size
+    results[root] = np.array(senddata, copy=True)
+    buf = np.empty_like(senddata)
+    for src in range(size):
+        if src == root:
+            continue
+        yield from rank.recv(buf, src, tag, comm,
+                             _context=comm.coll_context)
+        results[src] = np.array(buf, copy=True)
+    return results

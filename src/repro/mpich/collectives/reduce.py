@@ -1,0 +1,82 @@
+"""Default (non-application-bypass) binomial-tree reduction.
+
+This is the paper's baseline: every rank enters ``MPI_Reduce``; internal
+nodes perform a *blocking* receive from each child in mask order, combining
+as results arrive, then send the accumulated partial result to their parent.
+Any time spent waiting for a late child is spent spinning the progress
+engine — CPU time the application cannot use (paper Fig. 2a).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ...sim.cpu import Ledger
+from ...sim.process import Busy
+from ..communicator import Communicator
+from ..message import TAG_REDUCE
+from ..operations import Op
+from . import tree
+
+
+def reduce_nab(rank, sendbuf: np.ndarray, op: Op, root: int,
+               comm: Communicator, recvbuf: Optional[np.ndarray] = None,
+               tag: int = TAG_REDUCE) -> Generator:
+    """Blocking binomial reduction; returns the result array at the root."""
+    size = comm.size
+    me = comm.rank_of_world(rank.rank)
+    if not (0 <= root < size):
+        raise ValueError(f"root {root} outside communicator of size {size}")
+
+    costs = rank.costs
+    ledger = Ledger()
+    ledger.charge(costs.call_overhead_us, "mpi")
+
+    if size == 1:
+        result = _finish_root(sendbuf, recvbuf)
+        yield Busy.from_ledger(ledger)
+        return result
+
+    ledger.charge(costs.tree_setup_us, "mpi")
+    rel = tree.relative_rank(me, root, size)
+    kids = tree.children(rel, size)
+
+    if not kids:
+        # Leaf: nothing to combine — send the application buffer directly.
+        yield Busy.from_ledger(ledger)
+        parent = tree.absolute_rank(tree.parent(rel), root, size)
+        yield from rank.send(np.asarray(sendbuf), parent, tag, comm,
+                             _context=comm.coll_context)
+        return None
+
+    # Accumulate into a private buffer (MPICH copies the send buffer so the
+    # combine can run in place).
+    acc = np.array(sendbuf, copy=True)
+    ledger.charge(costs.copy_us(acc.nbytes), "copy")
+    yield Busy.from_ledger(ledger)
+
+    tmp = np.empty_like(acc)
+    for child_rel in kids:
+        child = tree.absolute_rank(child_rel, root, size)
+        yield from rank.recv(tmp, child, tag, comm,
+                             _context=comm.coll_context)
+        op_ledger = Ledger()
+        op_ledger.charge(costs.op_us(acc.size), "op")
+        op.apply(acc, tmp)
+        yield Busy.from_ledger(op_ledger)
+
+    if rel != 0:
+        parent = tree.absolute_rank(tree.parent(rel), root, size)
+        yield from rank.send(acc, parent, tag, comm,
+                             _context=comm.coll_context)
+        return None
+    return _finish_root(acc, recvbuf)
+
+
+def _finish_root(acc: np.ndarray, recvbuf: Optional[np.ndarray]) -> np.ndarray:
+    if recvbuf is not None:
+        recvbuf[...] = acc.reshape(recvbuf.shape)
+        return recvbuf
+    return np.array(acc, copy=True)

@@ -1,0 +1,70 @@
+"""Linear scatter and ring allgather.
+
+Not on the paper's critical path but part of a complete MPICH-class
+substrate; the application kernels use them for setup/exchange phases.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from ...errors import MpiError
+from ..communicator import Communicator
+
+TAG_SCATTER = 1_000_006
+TAG_ALLGATHER = 1_000_007
+
+
+def scatter(rank, senddata: Optional[np.ndarray], recvbuf: np.ndarray,
+            root: int, comm: Communicator,
+            tag: int = TAG_SCATTER) -> Generator:
+    """Scatter with an explicit receive buffer on every non-root rank."""
+    size = comm.size
+    me = comm.rank_of_world(rank.rank)
+    if not (0 <= root < size):
+        raise MpiError(f"root {root} outside communicator of size {size}")
+    if me == root:
+        if senddata is None:
+            raise MpiError("scatter root must supply data")
+        senddata = np.asarray(senddata)
+        if senddata.shape[0] != size:
+            raise MpiError(
+                f"scatter data first axis {senddata.shape[0]} != size {size}")
+        for dst in range(size):
+            if dst == root:
+                continue
+            yield from rank.send(senddata[dst], dst, tag, comm,
+                                 _context=comm.coll_context)
+        recvbuf[...] = senddata[root]
+        return recvbuf
+    yield from rank.recv(recvbuf, root, tag, comm,
+                         _context=comm.coll_context)
+    return recvbuf
+
+
+def allgather_ring(rank, senddata: np.ndarray, comm: Communicator,
+                   tag: int = TAG_ALLGATHER) -> Generator:
+    """Ring allgather: size-1 steps, each forwarding the slice received in
+    the previous step; returns an array indexed by comm rank."""
+    size = comm.size
+    me = comm.rank_of_world(rank.rank)
+    senddata = np.asarray(senddata)
+    out = np.empty((size,) + senddata.shape, dtype=senddata.dtype)
+    out[me] = senddata
+    if size == 1:
+        return out
+    right = (me + 1) % size
+    left = (me - 1) % size
+    current = me
+    for _ in range(size - 1):
+        incoming = (current - 1) % size
+        recv_req = yield from rank.irecv(out[incoming], left, tag, comm,
+                                         _context=comm.coll_context)
+        send_req = yield from rank.isend(out[current], right, tag, comm,
+                                         _context=comm.coll_context)
+        yield from rank.progress.wait(send_req)
+        yield from rank.progress.wait(recv_req)
+        current = incoming
+    return out

@@ -1,0 +1,116 @@
+"""Communicators: rank translation and context isolation.
+
+Each communicator owns two context ids, MPICH-style: one for point-to-point
+traffic and one for collectives, so user messages can never match collective
+internals.  Sub-communicators (``dup`` / ``split``) let tests run concurrent
+reductions over disjoint or identical rank sets without cross-talk.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import MpiError
+
+_context_ids = itertools.count(100, step=2)
+
+
+def _fresh_context() -> int:
+    return next(_context_ids)
+
+
+class Communicator:
+    """A group of world ranks with private matching contexts."""
+
+    __slots__ = ("world_ranks", "_rank_of", "context_id", "name", "_derived")
+
+    def __init__(self, world_ranks: tuple[int, ...], name: str = "comm"):
+        if len(set(world_ranks)) != len(world_ranks):
+            raise MpiError("duplicate ranks in communicator group")
+        self.world_ranks = tuple(world_ranks)
+        self._rank_of = {w: i for i, w in enumerate(world_ranks)}
+        self.context_id = _fresh_context()
+        self.name = name
+        # Cache of derived communicators.  Communicator derivation is a
+        # collective operation: every rank calling dup()/split() with equal
+        # arguments must end up with the *same* context ids, which in this
+        # in-process simulation means the same object.
+        self._derived: dict = {}
+
+    # -- structure -------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    @property
+    def pt2pt_context(self) -> int:
+        return self.context_id
+
+    @property
+    def coll_context(self) -> int:
+        return self.context_id + 1
+
+    def rank_of_world(self, world_rank: int) -> int:
+        """Translate a world rank into this communicator's rank."""
+        try:
+            return self._rank_of[world_rank]
+        except KeyError:
+            raise MpiError(f"world rank {world_rank} not in {self.name}")
+
+    def world_rank(self, comm_rank: int) -> int:
+        """Translate a communicator rank into a world rank."""
+        if not (0 <= comm_rank < self.size):
+            raise MpiError(f"rank {comm_rank} outside {self.name} "
+                           f"(size {self.size})")
+        return self.world_ranks[comm_rank]
+
+    def contains_world(self, world_rank: int) -> bool:
+        return world_rank in self._rank_of
+
+    # -- derivation --------------------------------------------------------
+    # Derivations are collective: the per-parent cache guarantees that all
+    # ranks calling with equal arguments receive identical context ids.
+
+    def dup(self, name: str = "") -> "Communicator":
+        """Same group, fresh contexts (isolates concurrent collectives).
+
+        Calls with the same ``name`` (from any rank) return the same
+        communicator; use distinct names for independent duplicates.
+        """
+        key = ("dup", name)
+        if key not in self._derived:
+            self._derived[key] = Communicator(self.world_ranks,
+                                              name or f"{self.name}.dup")
+        return self._derived[key]
+
+    def split(self, colors: dict[int, int], name: str = "") -> dict[int, "Communicator"]:
+        """Partition by color; returns ``color -> sub-communicator``.
+
+        ``colors`` maps every world rank in this communicator to a color.
+        Rank order within each sub-communicator follows world-rank order.
+        Every rank must pass the same mapping (it is a collective call).
+        """
+        missing = [w for w in self.world_ranks if w not in colors]
+        if missing:
+            raise MpiError(f"split colors missing ranks {missing}")
+        key = ("split", tuple(sorted(colors.items())), name)
+        if key not in self._derived:
+            groups: dict[int, list[int]] = {}
+            for w in self.world_ranks:
+                groups.setdefault(colors[w], []).append(w)
+            self._derived[key] = {
+                color: Communicator(tuple(ws),
+                                    name or f"{self.name}.split{color}")
+                for color, ws in groups.items()
+            }
+        return self._derived[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Communicator {self.name} size={self.size} ctx={self.context_id}>"
+
+
+def world_communicator(size: int) -> Communicator:
+    """``MPI_COMM_WORLD`` over ranks ``0..size-1``."""
+    if size < 1:
+        raise MpiError("world size must be >= 1")
+    return Communicator(tuple(range(size)), name="world")

@@ -1,0 +1,7 @@
+"""Myrinet-2000 network substrate: links, crossbar switch, fabric."""
+
+from .fabric import Fabric
+from .link import Link
+from .switch import CrossbarSwitch
+
+__all__ = ["Fabric", "Link", "CrossbarSwitch"]

@@ -1,0 +1,166 @@
+"""PMPI-style profiling wrapper for rank contexts.
+
+Wraps an :class:`~repro.runtime.context.MpiContext` and records, per MPI
+operation, the call count, total blocked wall-time and bytes moved — the
+moral equivalent of the PMPI interposition layer the 2003-era profiling
+studies (e.g. Moody et al., the paper's ref. [9]) used to discover that
+95% of real-application reductions carry three or fewer elements.
+
+Usage::
+
+    def program(mpi):
+        prof = ProfiledMpi(mpi)
+        yield from prof.reduce(data, op=SUM, root=0)
+        yield from prof.barrier()
+        return prof.report()
+
+Only the communication operations are interposed; ``compute``/``work``
+pass straight through (they are the application, not MPI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..mpich.operations import SUM, Op
+from .context import MpiContext
+
+
+@dataclass
+class OpProfile:
+    """Accumulated numbers for one MPI entry point."""
+
+    calls: int = 0
+    blocked_us: float = 0.0
+    bytes_moved: int = 0
+    max_call_us: float = 0.0
+
+    def record(self, elapsed_us: float, nbytes: int) -> None:
+        self.calls += 1
+        self.blocked_us += elapsed_us
+        self.bytes_moved += nbytes
+        self.max_call_us = max(self.max_call_us, elapsed_us)
+
+    @property
+    def mean_call_us(self) -> float:
+        return self.blocked_us / self.calls if self.calls else 0.0
+
+
+@dataclass
+class MpiProfile:
+    """Per-rank profile across all interposed operations."""
+
+    rank: int
+    ops: dict[str, OpProfile] = field(default_factory=dict)
+
+    def op(self, name: str) -> OpProfile:
+        profile = self.ops.get(name)
+        if profile is None:
+            profile = self.ops[name] = OpProfile()
+        return profile
+
+    @property
+    def total_blocked_us(self) -> float:
+        return sum(p.blocked_us for p in self.ops.values())
+
+    @property
+    def total_calls(self) -> int:
+        return sum(p.calls for p in self.ops.values())
+
+    def render(self) -> str:
+        lines = [f"MPI profile, rank {self.rank}: "
+                 f"{self.total_calls} calls, "
+                 f"{self.total_blocked_us:.1f} us blocked"]
+        for name in sorted(self.ops):
+            p = self.ops[name]
+            lines.append(
+                f"  {name:<10} calls={p.calls:<5} blocked={p.blocked_us:9.1f}us "
+                f"mean={p.mean_call_us:7.2f}us max={p.max_call_us:7.2f}us "
+                f"bytes={p.bytes_moved}")
+        return "\n".join(lines)
+
+
+def _nbytes(data) -> int:
+    if data is None:
+        return 0
+    return np.asarray(data).nbytes
+
+
+class ProfiledMpi:
+    """Interposition wrapper around one rank's :class:`MpiContext`."""
+
+    def __init__(self, mpi: MpiContext):
+        self.mpi = mpi
+        self.profile = MpiProfile(mpi.rank)
+
+    # -- passthroughs ------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.mpi.rank
+
+    @property
+    def size(self) -> int:
+        return self.mpi.size
+
+    @property
+    def now(self) -> float:
+        return self.mpi.now
+
+    def compute(self, duration_us: float, category: str = "app") -> Generator:
+        yield from self.mpi.compute(duration_us, category)
+
+    def work(self, duration_us: float, category: str = "app") -> Generator:
+        yield from self.mpi.work(duration_us, category)
+
+    # -- interposed operations ----------------------------------------------
+    def _timed(self, name: str, gen, nbytes: int) -> Generator:
+        t0 = self.mpi.now
+        result = yield from gen
+        self.profile.op(name).record(self.mpi.now - t0, nbytes)
+        return result
+
+    def send(self, data, dest: int, tag: int = 0, comm=None) -> Generator:
+        result = yield from self._timed(
+            "send", self.mpi.send(data, dest, tag, comm), _nbytes(data))
+        return result
+
+    def recv(self, buffer, source: int, tag: int = -1, comm=None) -> Generator:
+        result = yield from self._timed(
+            "recv", self.mpi.recv(buffer, source, tag, comm),
+            _nbytes(buffer))
+        return result
+
+    def reduce(self, sendbuf, op: Op = SUM, root: int = 0, comm=None,
+               recvbuf=None) -> Generator:
+        result = yield from self._timed(
+            "reduce", self.mpi.reduce(sendbuf, op, root, comm, recvbuf),
+            _nbytes(sendbuf))
+        return result
+
+    def bcast(self, data, root: int = 0, comm=None, count=None,
+              dtype=None) -> Generator:
+        result = yield from self._timed(
+            "bcast", self.mpi.bcast(data, root, comm, count, dtype),
+            _nbytes(data))
+        return result
+
+    def barrier(self, comm=None) -> Generator:
+        yield from self._timed("barrier", self.mpi.barrier(comm), 0)
+
+    def allreduce(self, sendbuf, op: Op = SUM, comm=None) -> Generator:
+        result = yield from self._timed(
+            "allreduce", self.mpi.allreduce(sendbuf, op, comm),
+            _nbytes(sendbuf))
+        return result
+
+    def gather(self, senddata, root: int = 0, comm=None) -> Generator:
+        result = yield from self._timed(
+            "gather", self.mpi.gather(senddata, root, comm),
+            _nbytes(senddata))
+        return result
+
+    def report(self) -> MpiProfile:
+        return self.profile

@@ -1,0 +1,83 @@
+"""SPMD program launcher.
+
+:func:`run_program` is the top-level entry point most users (and all of the
+examples and benchmarks) go through: build a cluster from a config, spawn
+one rank process per node running the supplied program generator, drive the
+simulation to completion and hand back per-rank results plus the cluster for
+post-mortem inspection (CPU accounting, NIC stats, traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional, Union
+
+from ..cluster.cluster import Cluster
+from ..config import ClusterConfig
+from ..mpich.communicator import world_communicator
+from ..mpich.rank import MpiBuild
+from ..sim.trace import Tracer
+from .context import MpiContext
+
+RankProgram = Callable[[MpiContext], Generator]
+
+
+@dataclass
+class ProgramResult:
+    """Everything a finished run exposes."""
+
+    cluster: Cluster
+    contexts: list[MpiContext]
+    results: list[Any]
+    finished_at: float
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    def cpu_usage(self, rank: int) -> dict[str, float]:
+        return self.cluster.nodes[rank].cpu.usage_snapshot()
+
+    def total_cpu(self, rank: int, *, exclude: tuple[str, ...] = ("app",)) -> float:
+        """Accounted CPU time on ``rank``, excluding app compute by default."""
+        return self.cluster.nodes[rank].cpu.total_usage(exclude=exclude)
+
+
+def build_cluster(config: ClusterConfig,
+                  tracer: Optional[Tracer] = None) -> Cluster:
+    """Instantiate a cluster (exposed separately for multi-phase drivers)."""
+    return Cluster(config, tracer)
+
+
+def run_program(config_or_cluster: Union[ClusterConfig, Cluster],
+                program: RankProgram, *,
+                build: MpiBuild = MpiBuild.DEFAULT,
+                tracer: Optional[Tracer] = None,
+                name: str = "rank") -> ProgramResult:
+    """Run ``program`` as one process per node; returns a ProgramResult.
+
+    ``program`` is called once per rank with that rank's
+    :class:`MpiContext` and must return a generator (the rank's main).
+    """
+    if isinstance(config_or_cluster, Cluster):
+        cluster = config_or_cluster
+    else:
+        cluster = Cluster(config_or_cluster, tracer)
+    world = world_communicator(cluster.size)
+    ab_params = cluster.config.ab
+    contexts = [
+        MpiContext(node, world, build, ab_params)
+        for node in cluster.nodes
+    ]
+    processes = [
+        cluster.sim.spawn(program(ctx), name=f"{name}{ctx.rank}",
+                          cpu=ctx.node.cpu)
+        for ctx in contexts
+    ]
+    cluster.sim.run()
+    return ProgramResult(
+        cluster=cluster,
+        contexts=contexts,
+        results=[p.result for p in processes],
+        finished_at=cluster.sim.now,
+    )

@@ -1,0 +1,104 @@
+"""Event objects and the time-ordered event queue.
+
+The queue is a binary heap keyed on ``(time, seq)``.  ``seq`` is a global,
+monotonically increasing counter so that events scheduled for the same
+instant fire in FIFO order — this is what makes the whole simulation
+deterministic for a fixed seed.
+
+Cancellation is *lazy*: :meth:`Event.cancel` flips a flag and the queue skips
+cancelled entries when popping.  This keeps cancellation O(1), which matters
+because the preemptive CPU model cancels and reschedules wake-up events every
+time a NIC signal interrupts an application busy-loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (microseconds) at which the event fires.
+    seq:
+        Global tiebreaker; preserves FIFO order among same-time events.
+    fn / args:
+        The callback and its positional arguments.
+    cancelled:
+        Set by :meth:`cancel`; cancelled events are skipped on pop.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so it will never fire."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        fn_name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.3f} seq={self.seq} fn={fn_name}{state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time, seq)``."""
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def push(self, time: float, fn: Callable[..., Any], args: tuple = ()) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time``."""
+        self._seq += 1
+        ev = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self._live -= 1
+            return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: callers that cancel an event should call this so
+        :func:`__len__` stays an accurate *live* count."""
+        self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

@@ -1,0 +1,197 @@
+"""Generator-coroutine processes and the commands they may yield.
+
+A *process* is a Python generator driven by the :class:`~repro.sim.simulator.
+Simulator`.  The generator yields command objects; the simulator interprets
+each command, and resumes the generator (``gen.send(value)``) when the command
+completes.  Sub-operations compose with ``yield from`` and return values via
+``StopIteration`` in the usual way, so MPI-layer code reads almost like
+straight-line blocking code::
+
+    def program(mpi):
+        yield from mpi.barrier()
+        result = yield from mpi.reduce(data, op=SUM, root=0)
+        return result
+
+Commands
+--------
+``Busy(duration, category)``
+    Hold this process's host CPU for ``duration`` microseconds of
+    *non-interruptible* work (MPI-internal bookkeeping, memory copies...).
+    NIC signals arriving during a ``Busy`` segment are deferred until the
+    segment ends.
+
+``Compute(duration, category)``
+    Application-level compute (the paper's busy loops).  *Interruptible*: a
+    NIC signal suspends the loop, runs the asynchronous handler on the host
+    CPU, and the loop then resumes — extending its wall-clock span by exactly
+    the handler cost, which is how the paper's measurement methodology
+    captures asynchronous CPU usage.
+
+``WaitFor(trigger, poll_category=None)``
+    Block until ``trigger`` fires.  If ``poll_category`` is given, the host
+    CPU is charged for the entire blocked interval under that category —
+    modelling MPICH's busy-polling blocking receives.  If ``None``, the wait
+    is passive (CPU idle).
+
+``Fork(gen, name, cpu)``
+    Spawn a child process.  The command completes immediately, returning the
+    new :class:`SimProcess`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+SimGen = Generator["Command", Any, Any]
+
+
+class Command:
+    """Base class of everything a process may ``yield``."""
+
+    __slots__ = ()
+
+
+class Busy(Command):
+    """Non-interruptible CPU work (see module docstring).
+
+    Either a single ``(duration, category)`` pair or, via
+    :meth:`from_ledger`, a multi-category breakdown accumulated by
+    instantaneous MPI-layer logic.
+    """
+
+    __slots__ = ("duration", "category", "charges")
+
+    def __init__(self, duration: float, category: str = "work",
+                 charges: Optional[dict] = None):
+        if duration < 0:
+            raise ValueError(f"negative busy duration: {duration}")
+        self.duration = duration
+        self.category = category
+        self.charges = charges
+
+    @classmethod
+    def from_ledger(cls, ledger) -> "Busy":
+        """Busy segment whose cost breakdown comes from a CPU ledger."""
+        return cls(ledger.total, "work", dict(ledger.charges))
+
+
+class Compute(Command):
+    """Interruptible application compute (paper's busy-loop delays)."""
+
+    __slots__ = ("duration", "category")
+
+    def __init__(self, duration: float, category: str = "app"):
+        if duration < 0:
+            raise ValueError(f"negative compute duration: {duration}")
+        self.duration = duration
+        self.category = category
+
+
+class WaitFor(Command):
+    """Block until a :class:`Trigger` fires (optionally spinning the CPU)."""
+
+    __slots__ = ("trigger", "poll_category")
+
+    def __init__(self, trigger: "Trigger", poll_category: Optional[str] = None):
+        self.trigger = trigger
+        self.poll_category = poll_category
+
+
+class Fork(Command):
+    """Spawn a child process; completes immediately with the new process."""
+
+    __slots__ = ("gen", "name", "cpu")
+
+    def __init__(self, gen: SimGen, name: str = "child", cpu=None):
+        self.gen = gen
+        self.name = name
+        self.cpu = cpu
+
+
+class Trigger:
+    """One-shot synchronization point.
+
+    ``fire(value)`` wakes every process currently blocked in a
+    ``WaitFor(trigger)`` and remembers the value; a ``WaitFor`` on an
+    already-fired trigger completes immediately.
+    """
+
+    __slots__ = ("fired", "value", "_waiters")
+
+    def __init__(self) -> None:
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        if self.fired:
+            callback(self.value)
+        else:
+            self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            return
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            cb(value)
+
+
+class Notifier:
+    """Multi-shot notification source (e.g. "a packet arrived at this NIC").
+
+    Each call to :meth:`wait` hands out a fresh one-shot :class:`Trigger`
+    that the next :meth:`notify` fires.  Blocking loops use the pattern::
+
+        while not done():
+            yield WaitFor(notifier.wait(), poll_category="poll")
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        self._pending: list[Trigger] = []
+
+    def wait(self) -> Trigger:
+        trig = Trigger()
+        self._pending.append(trig)
+        return trig
+
+    def notify(self, value: Any = None) -> int:
+        """Fire all outstanding triggers; returns how many were woken."""
+        pending, self._pending = self._pending, []
+        for trig in pending:
+            trig.fire(value)
+        return len(pending)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._pending)
+
+
+class SimProcess:
+    """Bookkeeping for one running generator."""
+
+    __slots__ = ("gen", "name", "cpu", "done", "result", "error", "finished_at",
+                 "_completion")
+
+    def __init__(self, gen: SimGen, name: str, cpu=None):
+        self.gen = gen
+        self.name = name
+        self.cpu = cpu  # HostCpu or None for hardware/helper processes
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.finished_at: Optional[float] = None
+        self._completion = Trigger()
+
+    @property
+    def completion(self) -> Trigger:
+        """Trigger fired (with the return value) when the process finishes."""
+        return self._completion
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"<SimProcess {self.name!r} {state}>"

@@ -1,0 +1,166 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` owns the virtual clock (microseconds), the event queue and
+the process driver that interprets the commands yielded by generator
+processes (see :mod:`repro.sim.process`).
+
+Determinism: for a fixed configuration and seed, event order is a pure
+function of ``(time, insertion sequence)``, so every run is bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import DeadlockError, ProcessFailed
+from .events import Event, EventQueue
+from .process import Busy, Compute, Fork, SimGen, SimProcess, WaitFor
+from .trace import Tracer
+
+
+class Simulator:
+    """Event loop, virtual clock and process driver."""
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self.now: float = 0.0
+        self.queue = EventQueue()
+        self.tracer = tracer or Tracer()
+        self.processes: list[SimProcess] = []
+        self._live_processes = 0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.queue.push(self.now + delay, fn, args)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute time ``time`` (must not be past)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.queue.push(time, fn, args)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self.queue.note_cancelled()
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def spawn(self, gen: SimGen, name: str = "proc", cpu=None) -> SimProcess:
+        """Register a generator as a process and start it at the current time."""
+        proc = SimProcess(gen, name, cpu)
+        self.processes.append(proc)
+        self._live_processes += 1
+        self.schedule(0.0, self._step, proc, None)
+        return proc
+
+    def run(self, until: Optional[float] = None, *,
+            max_events: Optional[int] = None,
+            error_on_deadlock: bool = True) -> float:
+        """Drain the event queue (optionally bounded); returns final time."""
+        queue = self.queue
+        processed = 0
+        while True:
+            if max_events is not None and processed >= max_events:
+                break
+            if until is not None:
+                next_time = queue.peek_time()
+                if next_time is None:
+                    break
+                if next_time > until:
+                    # Leave the event queued so the run can be resumed.
+                    self.now = until
+                    break
+            ev = queue.pop()
+            if ev is None:
+                break
+            self.now = ev.time
+            ev.fn(*ev.args)
+            processed += 1
+        self.events_processed += processed
+        if error_on_deadlock and until is None and max_events is None:
+            blocked = [p.name for p in self.processes if not p.done]
+            if blocked:
+                raise DeadlockError(blocked)
+        return self.now
+
+    def run_process(self, gen: SimGen, name: str = "main", cpu=None) -> Any:
+        """Convenience: spawn ``gen``, run to completion, return its value."""
+        proc = self.spawn(gen, name, cpu)
+        self.run()
+        return proc.result
+
+    @property
+    def live_process_count(self) -> int:
+        return self._live_processes
+
+    # ------------------------------------------------------------------
+    # the process driver
+    # ------------------------------------------------------------------
+    def _step(self, proc: SimProcess, value: Any = None) -> None:
+        if proc.done:
+            return
+        try:
+            cmd = proc.gen.send(value)
+        except StopIteration as stop:
+            proc.done = True
+            proc.result = stop.value
+            proc.finished_at = self.now
+            self._live_processes -= 1
+            proc.completion.fire(stop.value)
+            return
+        except ProcessFailed:
+            raise
+        except BaseException as exc:
+            proc.done = True
+            proc.error = exc
+            self._live_processes -= 1
+            raise ProcessFailed(proc.name, exc) from exc
+
+        kind = type(cmd)
+        if kind is Busy:
+            if proc.cpu is None:
+                self.schedule(cmd.duration, self._step, proc, None)
+            else:
+                proc.cpu.begin_busy(cmd.duration, cmd.category,
+                                    lambda: self._step(proc, None),
+                                    charges=cmd.charges)
+        elif kind is Compute:
+            if proc.cpu is None:
+                self.schedule(cmd.duration, self._step, proc, None)
+            else:
+                proc.cpu.begin_compute(cmd.duration, cmd.category,
+                                       lambda: self._step(proc, None))
+        elif kind is WaitFor:
+            if cmd.poll_category is not None and proc.cpu is not None:
+                cpu = proc.cpu
+                cpu.begin_poll(cmd.poll_category)
+
+                def _poll_woken(val: Any, _cpu=cpu, _proc=proc) -> None:
+                    # Signals ignored while spinning still stole the CPU:
+                    # the poller notices the wake-up late by that much.
+                    penalty = _cpu.consume_interrupt_penalty()
+
+                    def _resume() -> None:
+                        _cpu.end_poll()
+                        self._step(_proc, val)
+
+                    self.schedule(penalty, _resume)
+
+                cmd.trigger.add_waiter(_poll_woken)
+            else:
+                cmd.trigger.add_waiter(
+                    lambda val, _proc=proc: self.schedule(0.0, self._step, _proc, val))
+        elif kind is Fork:
+            child = self.spawn(cmd.gen, cmd.name, cmd.cpu)
+            self.schedule(0.0, self._step, proc, child)
+        else:
+            raise TypeError(f"process {proc.name!r} yielded {cmd!r}, "
+                            "expected a sim command")

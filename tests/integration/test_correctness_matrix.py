@@ -1,0 +1,129 @@
+"""Cross-build correctness matrix: the two implementations must compute
+identical reductions under every combination of size, skew pattern, root
+and message size — the fundamental equivalence claim of the paper."""
+
+import numpy as np
+import pytest
+
+from repro import MpiBuild, NoiseParams, paper_cluster, quiet_cluster
+from repro.mpich.operations import SUM
+from conftest import run_ranks
+
+
+def reduce_with_skew(size, skews, *, elements=4, root=0, rounds=1,
+                     build=MpiBuild.AB, config=None):
+    def program(mpi):
+        results = []
+        for i in range(rounds):
+            yield from mpi.compute(skews[mpi.rank])
+            data = np.arange(elements, dtype=np.float64) + mpi.rank + i
+            result = yield from mpi.reduce(data, op=SUM, root=root)
+            if result is not None:
+                results.append(np.array(result, copy=True))
+        yield from mpi.compute(max(skews) + 500.0)
+        yield from mpi.barrier()
+        return results
+
+    out = run_ranks(size, program, build=build, config=config)
+    return out
+
+
+def expected(size, elements, round_idx):
+    base = np.arange(elements, dtype=np.float64)
+    return sum(base + r + round_idx for r in range(size))
+
+
+@pytest.mark.parametrize("size", [4, 8, 16])
+@pytest.mark.parametrize("pattern", ["leaf_late", "internal_late",
+                                     "root_late", "staircase", "reverse"])
+def test_builds_agree_under_skew_patterns(size, pattern):
+    patterns = {
+        "leaf_late": [0.0] * size,
+        "internal_late": [0.0] * size,
+        "root_late": [0.0] * size,
+        "staircase": [40.0 * r for r in range(size)],
+        "reverse": [40.0 * (size - r) for r in range(size)],
+    }
+    skews = patterns[pattern]
+    if pattern == "leaf_late":
+        skews[size - 1] = 300.0
+    elif pattern == "internal_late":
+        skews[2] = 300.0
+    elif pattern == "root_late":
+        skews[0] = 300.0
+
+    ab = reduce_with_skew(size, skews, build=MpiBuild.AB)
+    nab = reduce_with_skew(size, skews, build=MpiBuild.DEFAULT)
+    want = expected(size, 4, 0)
+    assert np.allclose(ab.results[0][0], want)
+    assert np.allclose(nab.results[0][0], want)
+
+
+@pytest.mark.parametrize("root", [0, 3, 7, 15])
+def test_rotating_roots_with_skew(root):
+    size = 16
+    skews = [25.0 * ((r * 7) % 5) for r in range(size)]
+    out = reduce_with_skew(size, skews, root=root, rounds=3)
+    for i in range(3):
+        assert np.allclose(out.results[root][i], expected(size, 4, i))
+
+
+@pytest.mark.parametrize("elements", [1, 4, 32, 128, 1024])
+def test_message_sizes(elements):
+    size = 8
+    skews = [0.0, 50.0, 0.0, 120.0, 0.0, 10.0, 70.0, 0.0]
+    out = reduce_with_skew(size, skews, elements=elements)
+    assert np.allclose(out.results[0][0], expected(size, elements, 0))
+
+
+def test_many_rounds_heavy_skew():
+    size = 8
+    skews = [0.0, 0.0, 0.0, 500.0, 0.0, 0.0, 250.0, 0.0]
+    out = reduce_with_skew(size, skews, rounds=8)
+    for i in range(8):
+        assert np.allclose(out.results[0][i], expected(size, 4, i))
+    # every descriptor drained, signals off, queues empty on every rank
+    for ctx in out.contexts:
+        assert ctx.ab_engine.descriptors.empty
+        assert ctx.ab_engine.unexpected.empty
+        assert not ctx.node.nic.signals_enabled
+
+
+def test_builds_agree_on_noisy_heterogeneous_cluster():
+    """Same seed, same noisy cluster: both builds still compute the same
+    (correct) values — noise shifts time, never data."""
+    size = 16
+    for build in (MpiBuild.DEFAULT, MpiBuild.AB):
+        out = reduce_with_skew(size, [0.0] * size, build=build, rounds=4,
+                               config=paper_cluster(size, seed=11))
+        for i in range(4):
+            assert np.allclose(out.results[0][i], expected(size, 4, i))
+
+
+def test_mixed_collectives_and_pt2pt_with_ab_reduce():
+    """Reductions interleaved with other MPI traffic must not cross-match
+    (the AB machinery shares the wire with everything else)."""
+    size = 8
+
+    def program(mpi):
+        token = np.array([float(mpi.rank)])
+        peer = (mpi.rank + 1) % size
+        src = (mpi.rank - 1) % size
+        buf = np.zeros(1)
+        req = yield from mpi.irecv(buf, src, tag=5)
+        yield from mpi.isend(token, peer, tag=5)
+        if mpi.rank == 3:
+            yield from mpi.compute(200.0)
+        red = yield from mpi.reduce(np.array([1.0]), op=SUM, root=0)
+        yield from mpi.wait(req)
+        bc = yield from mpi.bcast(
+            np.array([9.0]) if mpi.rank == 0 else None, root=0, count=1)
+        yield from mpi.compute(400.0)
+        yield from mpi.barrier()
+        return (buf[0], None if red is None else float(red[0]), float(bc[0]))
+
+    out = run_ranks(size, program, build=MpiBuild.AB)
+    for rank, (ring, red, bc) in enumerate(out.results):
+        assert ring == float((rank - 1) % size)
+        assert bc == 9.0
+    assert out.results[0][1] == float(size)

@@ -1,0 +1,67 @@
+"""Smoke tests for the figure-reproduction drivers (tiny configurations:
+the full-size runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import ablations, fig6, fig7, fig8, fig9, fig10
+from repro.experiments.fig8 import crossover_size
+
+
+def test_fig6_driver_small():
+    out = fig6.run(size=8, skews=(0.0, 500.0), element_sizes=(4,),
+                   iterations=10, seed=1)
+    table = out.tables[0]
+    assert table._find("nab-4").values[1] > table._find("nab-4").values[0]
+    factors = table._find("factor-4").values
+    assert factors[1] > 1.0
+    assert out.notes
+
+
+def test_fig7_driver_small():
+    out = fig7.run(sizes=(2, 8), element_sizes=(4,), iterations=10, seed=1)
+    factors = out.tables[0]._find("factor-4").values
+    assert len(factors) == 2
+    assert factors[1] > factors[0]
+
+
+def test_fig8_driver_small():
+    out = fig8.run(sizes=(2, 8), element_sizes=(4,), iterations=10, seed=1)
+    assert len(out.tables[0].x_values) == 2
+
+
+def test_fig9_driver_small():
+    out = fig9.run(hetero_sizes=(2, 4), homo_sizes=(2,), iterations=10,
+                   seed=1)
+    hetero, homo = out.tables
+    assert hetero._find("nab").values[1] > hetero._find("nab").values[0]
+
+
+def test_fig10_driver_small():
+    out = fig10.run(size=8, element_sizes=(1, 64), iterations=10, seed=1)
+    nab = out.tables[0]._find("nab").values
+    assert nab[1] > nab[0]
+
+
+def test_crossover_size_helper():
+    assert crossover_size((2, 4, 8), (0.5, 1.2, 1.4)) == 4
+    assert crossover_size((2, 4), (0.5, 0.6)) is None
+    assert crossover_size((2,), (1.0,)) == 2
+
+
+def test_ablation_exit_delay_small():
+    table = ablations.ablate_exit_delay(size=8, iterations=8, seed=1)
+    assert len(table._find("signals@noskew").values) == 4
+
+
+def test_cli_dispatcher():
+    from repro.experiments.__main__ import main
+    assert main([]) == 0                      # help
+    assert main(["not-a-fig"]) == 2           # unknown
+
+
+def test_cli_runs_quick_fig(capsys):
+    from repro.experiments.__main__ import main
+    assert main(["fig6", "--iterations", "8", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "factor-4" in out
+    assert "max factor of improvement" in out

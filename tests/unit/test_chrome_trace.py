@@ -1,0 +1,78 @@
+"""Tests for the Chrome-tracing export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import MpiBuild, quiet_cluster, run_program
+from repro.report import (chrome_trace_events, chrome_trace_json,
+                          write_chrome_trace)
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def traced(tmp_path):
+    tracer = Tracer(enabled=True)
+
+    def program(mpi):
+        if mpi.rank == 3:
+            yield from mpi.compute(200.0)
+        yield from mpi.reduce(np.ones(2), root=0)
+        yield from mpi.compute(400.0)
+        yield from mpi.barrier()
+
+    out = run_program(quiet_cluster(4), program, build=MpiBuild.AB,
+                      tracer=tracer)
+    return tracer, out, tmp_path
+
+
+def test_events_cover_descriptor_spans(traced):
+    tracer, out, _ = traced
+    events = chrome_trace_events(tracer)
+    bars = [e for e in events if e["ph"] == "X"]
+    assert len(bars) == 1              # rank 2 is the only internal node
+    bar = bars[0]
+    assert bar["tid"] == 2
+    assert bar["dur"] > 100.0          # waited for the 200us-late rank 3
+    assert "async" in bar["name"]
+
+
+def test_instant_events_have_tracks_and_args(traced):
+    tracer, _, _ = traced
+    events = chrome_trace_events(tracer)
+    sends = [e for e in events if e["name"] == "send"]
+    assert sends
+    for e in sends:
+        assert e["ph"] == "i"
+        assert isinstance(e["tid"], int)
+        assert "dst" in e["args"]
+
+
+def test_signal_events_present(traced):
+    tracer, out, _ = traced
+    events = chrome_trace_events(tracer)
+    signals = [e for e in events if e["name"] == "SIGNAL"]
+    assert len(signals) == out.cluster.total_signals()
+
+
+def test_json_serialization_valid(traced):
+    tracer, _, _ = traced
+    doc = json.loads(chrome_trace_json(tracer, label="unit"))
+    assert doc["otherData"]["label"] == "unit"
+    assert doc["traceEvents"]
+    for event in doc["traceEvents"]:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+
+def test_write_chrome_trace_roundtrip(traced):
+    tracer, _, tmp_path = traced
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(tracer, str(path))
+    assert count > 0
+    loaded = json.loads(path.read_text())
+    assert len(loaded["traceEvents"]) == count
+
+
+def test_empty_tracer_produces_empty_trace():
+    assert chrome_trace_events(Tracer(enabled=True)) == []

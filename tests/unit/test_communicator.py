@@ -1,0 +1,66 @@
+"""Unit tests for communicators."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpich.communicator import Communicator, world_communicator
+
+
+def test_world_identity_mapping():
+    world = world_communicator(4)
+    assert world.size == 4
+    for r in range(4):
+        assert world.world_rank(r) == r
+        assert world.rank_of_world(r) == r
+
+
+def test_world_requires_positive_size():
+    with pytest.raises(MpiError):
+        world_communicator(0)
+
+
+def test_contexts_are_distinct_and_paired():
+    a = world_communicator(2)
+    b = world_communicator(2)
+    assert a.context_id != b.context_id
+    assert a.coll_context == a.pt2pt_context + 1
+
+
+def test_subgroup_translation():
+    comm = Communicator((3, 5, 9), name="sub")
+    assert comm.size == 3
+    assert comm.world_rank(1) == 5
+    assert comm.rank_of_world(9) == 2
+    assert comm.contains_world(5)
+    assert not comm.contains_world(4)
+    with pytest.raises(MpiError):
+        comm.world_rank(3)
+    with pytest.raises(MpiError):
+        comm.rank_of_world(4)
+
+
+def test_duplicate_ranks_rejected():
+    with pytest.raises(MpiError):
+        Communicator((1, 1, 2))
+
+
+def test_dup_same_group_new_context():
+    comm = world_communicator(3)
+    dup = comm.dup()
+    assert dup.world_ranks == comm.world_ranks
+    assert dup.context_id != comm.context_id
+
+
+def test_split_partitions_by_color():
+    comm = world_communicator(6)
+    colors = {0: 0, 1: 1, 2: 0, 3: 1, 4: 0, 5: 1}
+    parts = comm.split(colors)
+    assert parts[0].world_ranks == (0, 2, 4)
+    assert parts[1].world_ranks == (1, 3, 5)
+    assert parts[0].context_id != parts[1].context_id
+
+
+def test_split_missing_color_rejected():
+    comm = world_communicator(3)
+    with pytest.raises(MpiError):
+        comm.split({0: 0, 1: 0})

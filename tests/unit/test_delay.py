@@ -1,0 +1,50 @@
+"""Unit tests for the exit-delay heuristic (paper Sec. IV-E)."""
+
+import math
+
+import pytest
+
+from repro.config import AbParams
+from repro.core.delay import POLICIES, exit_delay_window
+from repro.errors import ConfigError
+
+
+def test_none_policy_is_zero():
+    p = AbParams(exit_delay_policy="none", exit_delay_coeff_us=10.0)
+    assert exit_delay_window(p, 32) == 0.0
+
+
+def test_fixed_policy_ignores_size():
+    p = AbParams(exit_delay_policy="fixed", exit_delay_coeff_us=7.0)
+    assert exit_delay_window(p, 2) == 7.0
+    assert exit_delay_window(p, 32) == 7.0
+
+
+def test_log_policy_scales_with_log2():
+    p = AbParams(exit_delay_policy="log", exit_delay_coeff_us=3.0)
+    assert exit_delay_window(p, 32) == pytest.approx(15.0)
+    assert exit_delay_window(p, 8) == pytest.approx(9.0)
+    # size 1 clamps to log2(2) so the window never vanishes on tiny comms
+    assert exit_delay_window(p, 1) == pytest.approx(3.0)
+
+
+def test_linear_policy():
+    p = AbParams(exit_delay_policy="linear", exit_delay_coeff_us=0.5)
+    assert exit_delay_window(p, 32) == pytest.approx(16.0)
+
+
+def test_unknown_policy_rejected():
+    p = AbParams(exit_delay_policy="sometimes")
+    with pytest.raises(ConfigError):
+        exit_delay_window(p, 8)
+
+
+def test_bad_size_rejected():
+    with pytest.raises(ConfigError):
+        exit_delay_window(AbParams(), 0)
+
+
+def test_all_declared_policies_work():
+    for policy in POLICIES:
+        p = AbParams(exit_delay_policy=policy, exit_delay_coeff_us=1.0)
+        assert exit_delay_window(p, 16) >= 0.0

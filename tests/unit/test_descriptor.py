@@ -1,0 +1,142 @@
+"""Unit tests for reduce descriptors, the descriptor queue and the AB
+unexpected queue."""
+
+import numpy as np
+import pytest
+
+from repro.core.descriptor import DescriptorQueue, ReduceDescriptor
+from repro.core.unexpected import AbUnexpectedQueue
+from repro.errors import AbProtocolError
+from repro.mpich.message import AbHeader
+from repro.mpich.operations import SUM
+
+
+def make_desc(instance=0, children=(1, 2), parent=0):
+    return ReduceDescriptor(
+        context_id=101, root_world=0, instance=instance, parent_world=parent,
+        children_world=list(children), op=SUM, acc=np.zeros(4),
+        tag=1_000_001, created_at=0.0)
+
+
+# ---------------------------------------------------------------------------
+# ReduceDescriptor
+# ---------------------------------------------------------------------------
+
+def test_descriptor_tracks_pending_children():
+    d = make_desc(children=(3, 5, 9))
+    assert d.pending_children() == [3, 5, 9]
+    assert d.is_pending(5)
+    d.mark_done(5)
+    assert not d.is_pending(5)
+    assert d.pending_children() == [3, 9]
+    assert not d.complete
+    d.mark_done(3)
+    d.mark_done(9)
+    assert d.complete
+
+
+def test_descriptor_double_completion_rejected():
+    d = make_desc()
+    d.mark_done(1)
+    with pytest.raises(AbProtocolError):
+        d.mark_done(1)
+
+
+def test_descriptor_requires_children():
+    with pytest.raises(AbProtocolError):
+        make_desc(children=())
+
+
+def test_descriptor_pending_preserves_mask_order():
+    d = make_desc(children=(9, 3, 5))
+    assert d.pending_children() == [9, 3, 5]
+
+
+# ---------------------------------------------------------------------------
+# DescriptorQueue
+# ---------------------------------------------------------------------------
+
+def test_queue_matches_oldest_pending():
+    q = DescriptorQueue()
+    d0 = make_desc(instance=0, children=(7,))
+    d1 = make_desc(instance=1, children=(7,))
+    q.push(d0)
+    q.push(d1)
+    assert q.match(7) is d0
+    d0.mark_done(7)
+    assert q.match(7) is d1
+
+
+def test_queue_match_by_sender_only_pending():
+    q = DescriptorQueue()
+    d = make_desc(children=(4, 6))
+    q.push(d)
+    assert q.match(4) is d
+    assert q.match(5) is None
+    d.mark_done(4)
+    assert q.match(4) is None
+    assert q.match(6) is d
+
+
+def test_queue_remove_and_stats():
+    q = DescriptorQueue()
+    d = make_desc()
+    q.push(d)
+    assert len(q) == 1 and not q.empty
+    q.remove(d)
+    assert q.empty and d.removed
+    assert (q.enqueued, q.dequeued, q.max_len) == (1, 1, 1)
+
+
+def test_queue_double_remove_rejected():
+    q = DescriptorQueue()
+    d = make_desc()
+    q.push(d)
+    q.remove(d)
+    with pytest.raises(AbProtocolError):
+        q.remove(d)
+
+
+def test_queue_remove_unknown_rejected():
+    q = DescriptorQueue()
+    with pytest.raises(AbProtocolError):
+        q.remove(make_desc())
+
+
+def test_queue_iterates_fifo():
+    q = DescriptorQueue()
+    descs = [make_desc(instance=i) for i in range(3)]
+    for d in descs:
+        q.push(d)
+    assert list(q) == descs
+
+
+# ---------------------------------------------------------------------------
+# AbUnexpectedQueue
+# ---------------------------------------------------------------------------
+
+def head(inst=0):
+    return AbHeader(root=0, instance=inst)
+
+
+def test_ab_unexpected_fifo_per_sender():
+    q = AbUnexpectedQueue()
+    q.put(3, head(0), np.array([1.0]), 0.0)
+    q.put(3, head(1), np.array([2.0]), 1.0)
+    q.put(5, head(0), np.array([3.0]), 2.0)
+    e = q.take(3)
+    assert e.header.instance == 0 and e.data[0] == 1.0
+    assert q.take(3).header.instance == 1
+    assert q.take(3) is None
+    assert q.take(5).data[0] == 3.0
+
+
+def test_ab_unexpected_stats():
+    q = AbUnexpectedQueue()
+    q.put(1, head(), np.zeros(1), 0.0)
+    q.put(2, head(), np.zeros(1), 0.0)
+    assert (q.inserted, q.max_len, len(q)) == (2, 2, 2)
+    q.take(1)
+    assert q.consumed == 1
+    assert q.peek_senders() == [2]
+    assert not q.empty

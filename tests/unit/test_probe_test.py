@@ -1,0 +1,88 @@
+"""Tests for MPI_Test / MPI_Iprobe semantics."""
+
+import numpy as np
+import pytest
+
+from conftest import run_ranks
+
+
+def test_test_returns_none_then_status():
+    def program(mpi):
+        if mpi.rank == 0:
+            yield from mpi.compute(100.0)
+            yield from mpi.send(np.array([1.0]), 1)
+            return None
+        buf = np.zeros(1)
+        req = yield from mpi.irecv(buf, 0)
+        first = yield from mpi.mpi.test(req)
+        yield from mpi.compute(200.0)
+        second = yield from mpi.mpi.test(req)
+        return first is None, second is not None, buf[0]
+
+    out = run_ranks(2, program)
+    early_none, late_done, value = out.results[1]
+    assert early_none and late_done
+    assert value == 1.0
+
+
+def test_test_drives_progress():
+    """A request completes through repeated test() calls alone, with no
+    blocking wait — the non-blocking pattern the paper's Sec. V-A
+    alternative design would have leaned on."""
+    def program(mpi):
+        if mpi.rank == 0:
+            yield from mpi.compute(50.0)
+            yield from mpi.send(np.array([2.0]), 1)
+            return None
+        buf = np.zeros(1)
+        req = yield from mpi.irecv(buf, 0)
+        polls = 0
+        while True:
+            status = yield from mpi.mpi.test(req)
+            polls += 1
+            if status is not None:
+                break
+            yield from mpi.compute(10.0)
+        return polls, buf[0]
+
+    out = run_ranks(2, program)
+    polls, value = out.results[1]
+    assert value == 2.0
+    assert polls >= 2
+
+
+def test_iprobe_sees_unexpected_message():
+    def program(mpi):
+        if mpi.rank == 0:
+            yield from mpi.send(np.array([3.0]), 1, tag=9)
+            return None
+        yield from mpi.compute(50.0)
+        hit = yield from mpi.mpi.iprobe(0, tag=9)
+        miss = yield from mpi.mpi.iprobe(0, tag=10)
+        buf = np.zeros(1)
+        yield from mpi.recv(buf, 0, tag=9)
+        gone = yield from mpi.mpi.iprobe(0, tag=9)
+        return hit, miss, gone
+
+    out = run_ranks(2, program)
+    assert out.results[1] == (True, False, False)
+
+
+def test_iprobe_wildcard_source():
+    from repro.mpich.message import ANY_SOURCE
+
+    def program(mpi):
+        if mpi.rank == 2:
+            yield from mpi.send(np.array([1.0]), 0, tag=4)
+            return None
+        if mpi.rank == 0:
+            yield from mpi.compute(50.0)
+            hit = yield from mpi.mpi.iprobe(ANY_SOURCE, tag=4)
+            buf = np.zeros(1)
+            yield from mpi.recv(buf, 2, tag=4)
+            return hit
+        yield from mpi.compute(0.0)
+        return None
+
+    out = run_ranks(3, program)
+    assert out.results[0] is True

@@ -1,0 +1,74 @@
+"""Unit tests for triggers, notifiers and command validation."""
+
+import pytest
+
+from repro.sim.process import Busy, Compute, Notifier, Trigger
+
+
+def test_trigger_single_shot():
+    trig = Trigger()
+    seen = []
+    trig.add_waiter(seen.append)
+    trig.fire(1)
+    trig.fire(2)   # second fire is a no-op
+    assert seen == [1]
+    assert trig.value == 1
+
+
+def test_trigger_late_waiter_gets_value():
+    trig = Trigger()
+    trig.fire("v")
+    seen = []
+    trig.add_waiter(seen.append)
+    assert seen == ["v"]
+
+
+def test_trigger_multiple_waiters():
+    trig = Trigger()
+    seen = []
+    trig.add_waiter(lambda v: seen.append(("a", v)))
+    trig.add_waiter(lambda v: seen.append(("b", v)))
+    trig.fire(7)
+    assert seen == [("a", 7), ("b", 7)]
+
+
+def test_notifier_wait_then_notify():
+    n = Notifier()
+    t1 = n.wait()
+    t2 = n.wait()
+    assert n.waiter_count == 2
+    assert n.notify("x") == 2
+    assert t1.fired and t2.fired
+    assert t1.value == "x"
+    assert n.waiter_count == 0
+
+
+def test_notifier_notify_without_waiters():
+    assert Notifier().notify() == 0
+
+
+def test_notifier_each_wait_is_fresh():
+    n = Notifier()
+    t1 = n.wait()
+    n.notify(1)
+    t2 = n.wait()
+    assert t1.fired and not t2.fired
+    n.notify(2)
+    assert t2.value == 2
+
+
+def test_busy_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        Busy(-1.0)
+    with pytest.raises(ValueError):
+        Compute(-0.1)
+
+
+def test_busy_from_ledger_snapshot():
+    from repro.sim.cpu import Ledger
+    led = Ledger()
+    led.charge(2.0, "x")
+    cmd = Busy.from_ledger(led)
+    led.charge(5.0, "y")     # later charges must not leak into the command
+    assert cmd.duration == 2.0
+    assert cmd.charges == {"x": 2.0}

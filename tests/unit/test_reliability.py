@@ -1,0 +1,135 @@
+"""Tests for GM reliable delivery and fabric fault injection."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import MpiBuild, NetParams, quiet_cluster
+from repro.cluster.cluster import Cluster
+from repro.gm.packet import Packet, PacketType
+from repro.mpich.operations import SUM
+from conftest import contribution, expected_sum, run_ranks
+
+
+def lossy_config(size, drop_prob, seed=0, rto=120.0):
+    cfg = quiet_cluster(size, seed=seed)
+    return replace(cfg, net=NetParams(drop_prob=drop_prob,
+                                      retransmit_timeout_us=rto))
+
+
+def test_reliability_disabled_on_lossless_fabric():
+    cluster = Cluster(quiet_cluster(2))
+    assert cluster.nodes[0].nic.reliable is None
+
+
+def test_lossy_fabric_requires_rng():
+    from repro.network.fabric import Fabric
+    from repro.sim.simulator import Simulator
+    with pytest.raises(ValueError):
+        Fabric(Simulator(), NetParams(drop_prob=0.1), 2, rng=None)
+
+
+def test_pt2pt_survives_heavy_loss():
+    n = 30
+
+    def program(mpi):
+        if mpi.rank == 0:
+            for i in range(n):
+                yield from mpi.send(np.array([float(i)]), 1, tag=1)
+            return None
+        got = []
+        buf = np.zeros(1)
+        for _ in range(n):
+            yield from mpi.recv(buf, 0, tag=1)
+            got.append(buf[0])
+        return got
+
+    out = run_ranks(2, program, config=lossy_config(2, 0.15, seed=7))
+    assert out.results[1] == [float(i) for i in range(n)]
+    assert out.cluster.fabric.packets_dropped > 0
+    rel = out.cluster.nodes[0].nic.reliable
+    assert rel.stats.retransmissions > 0
+
+
+def test_in_order_delivery_preserved_under_loss():
+    """Go-back-N must keep the per-pair FIFO property the AB protocol
+    depends on, whatever the loss pattern."""
+    def program(mpi):
+        results = []
+        for i in range(6):
+            r = yield from mpi.reduce(contribution(mpi.rank, 4) * (i + 1),
+                                      op=SUM, root=0)
+            if r is not None:
+                results.append(float(r[0]))
+            yield from mpi.barrier()
+        return results
+
+    out = run_ranks(8, program, build=MpiBuild.AB,
+                    config=lossy_config(8, 0.08, seed=11))
+    want = [float(expected_sum(8, 4)[0] * (i + 1)) for i in range(6)]
+    assert out.results[0] == want
+    assert out.cluster.fabric.packets_dropped > 0
+    # everything quiesced despite the losses
+    for ctx in out.contexts:
+        assert ctx.ab_engine.descriptors.empty
+        assert not ctx.node.nic.signals_enabled
+
+
+def test_duplicate_and_gap_discard_counters():
+    out = run_ranks(4, lambda mpi: (yield from _burst(mpi)),
+                    config=lossy_config(4, 0.2, seed=3))
+    stats = [n.nic.reliable.stats for n in out.cluster.nodes]
+    assert sum(s.retransmissions for s in stats) > 0
+    # retransmitting a whole window after one loss produces dup/gap drops
+    assert sum(s.duplicates_discarded + s.gaps_discarded for s in stats) > 0
+    assert sum(s.acks_sent for s in stats) > 0
+
+
+def _burst(mpi):
+    n = 15
+    peer = (mpi.rank + 1) % mpi.size
+    src = (mpi.rank - 1) % mpi.size
+    buf = np.zeros(1)
+    reqs = []
+    for i in range(n):
+        r = yield from mpi.irecv(buf if i == n - 1 else np.zeros(1), src,
+                                 tag=i)
+        reqs.append(r)
+    for i in range(n):
+        yield from mpi.send(np.array([float(i)]), peer, tag=i)
+    for r in reqs:
+        yield from mpi.wait(r)
+    return None
+
+
+def test_loss_increases_latency_not_correctness():
+    def program(mpi):
+        t0 = mpi.now
+        yield from mpi.reduce(contribution(mpi.rank, 4), op=SUM, root=0)
+        yield from mpi.barrier()
+        return mpi.now - t0
+
+    clean = run_ranks(8, program, config=lossy_config(8, 0.0))
+    # note: drop_prob=0 -> reliability off; compare against heavy loss
+    lossy = run_ranks(8, program, config=lossy_config(8, 0.25, seed=5))
+    assert max(lossy.results) > max(clean.results)
+
+
+def test_retransmit_timer_idempotent_when_acked():
+    """Timers that fire after everything was ACKed are no-ops."""
+    out = run_ranks(2, lambda mpi: (yield from _one_msg(mpi)),
+                    config=lossy_config(2, 0.01, seed=2))
+    rel = out.cluster.nodes[0].nic.reliable
+    for peer in rel._tx.values():
+        assert not peer.unacked
+
+
+def _one_msg(mpi):
+    if mpi.rank == 0:
+        yield from mpi.send(np.ones(1), 1)
+    else:
+        buf = np.zeros(1)
+        yield from mpi.recv(buf, 0)
+    yield from mpi.barrier()
+    return None

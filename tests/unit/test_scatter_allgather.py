@@ -1,0 +1,83 @@
+"""Tests for scatter and ring allgather."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiError, ProcessFailed
+from conftest import run_ranks
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 7, 8])
+def test_scatter_slices(size):
+    def program(mpi):
+        recv = np.zeros(3)
+        if mpi.rank == 0:
+            data = np.arange(size * 3, dtype=np.float64).reshape(size, 3)
+            yield from mpi.mpi.scatter(data, recv, root=0)
+        else:
+            yield from mpi.mpi.scatter(None, recv, root=0)
+        return recv.tolist()
+
+    out = run_ranks(size, program)
+    for r in range(size):
+        assert out.results[r] == [float(r * 3 + i) for i in range(3)]
+
+
+def test_scatter_nonzero_root():
+    def program(mpi):
+        recv = np.zeros(1)
+        data = None
+        if mpi.rank == 2:
+            data = np.array([[10.0], [11.0], [12.0], [13.0]])
+        yield from mpi.mpi.scatter(data, recv, root=2)
+        return recv[0]
+
+    out = run_ranks(4, program)
+    assert out.results == [10.0, 11.0, 12.0, 13.0]
+
+
+def test_scatter_shape_validation():
+    def program(mpi):
+        recv = np.zeros(1)
+        data = np.zeros((3, 1)) if mpi.rank == 0 else None  # wrong: size=2
+        yield from mpi.mpi.scatter(data, recv, root=0)
+
+    with pytest.raises(ProcessFailed) as exc:
+        run_ranks(2, program)
+    assert isinstance(exc.value.original, MpiError)
+
+
+def test_scatter_root_requires_data():
+    def program(mpi):
+        recv = np.zeros(1)
+        yield from mpi.mpi.scatter(None, recv, root=0)
+
+    with pytest.raises(ProcessFailed):
+        run_ranks(2, program)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+def test_allgather_ring(size):
+    def program(mpi):
+        mine = np.array([float(mpi.rank), float(mpi.rank) ** 2])
+        result = yield from mpi.mpi.allgather(mine)
+        return result
+
+    out = run_ranks(size, program)
+    for r in range(size):
+        gathered = out.results[r]
+        assert gathered.shape == (size, 2)
+        for src in range(size):
+            assert gathered[src, 0] == float(src)
+            assert gathered[src, 1] == float(src) ** 2
+
+
+def test_allgather_under_skew():
+    def program(mpi):
+        yield from mpi.compute(float(mpi.rank) * 40.0)
+        result = yield from mpi.mpi.allgather(np.array([float(mpi.rank)]))
+        return result[:, 0].tolist()
+
+    out = run_ranks(6, program)
+    for r in range(6):
+        assert out.results[r] == [float(i) for i in range(6)]

@@ -1,0 +1,196 @@
+"""Unit tests for the simulator core and process driver."""
+
+import pytest
+
+from repro.errors import DeadlockError, ProcessFailed
+from repro.sim.cpu import HostCpu
+from repro.sim.process import Busy, Compute, Fork, Trigger, WaitFor
+from repro.sim.simulator import Simulator
+
+
+def test_schedule_and_run(sim):
+    fired = []
+    sim.schedule(5.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["b", "a"]
+    assert sim.now == 5.0
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_at_rejects_past(sim):
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(5.0, lambda: None)
+
+
+def test_run_until(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(100.0, fired.append, 2)
+    sim.run(until=50.0)
+    assert fired == [1]
+    assert sim.now == 50.0
+
+
+def test_process_returns_value(sim):
+    def main():
+        yield Busy(3.0)
+        return 42
+
+    cpu = HostCpu(sim)
+    assert sim.run_process(main(), cpu=cpu) == 42
+    assert sim.now == 3.0
+
+
+def test_process_without_cpu_advances_time(sim):
+    def main():
+        yield Busy(7.0)
+        yield Compute(3.0)
+        return sim.now
+
+    assert sim.run_process(main()) == 10.0
+
+
+def test_subgenerator_composition(sim):
+    def inner(x):
+        yield Busy(1.0)
+        return x * 2
+
+    def main():
+        a = yield from inner(5)
+        b = yield from inner(a)
+        return b
+
+    assert sim.run_process(main()) == 20
+
+
+def test_trigger_wakes_waiter(sim):
+    trig = Trigger()
+    log = []
+
+    def waiter():
+        value = yield WaitFor(trig)
+        log.append(value)
+        return value
+
+    def firer():
+        yield Busy(4.0)
+        trig.fire("hello")
+
+    p = sim.spawn(waiter(), "waiter")
+    sim.spawn(firer(), "firer")
+    sim.run()
+    assert p.result == "hello"
+    assert log == ["hello"]
+    assert sim.now == 4.0
+
+
+def test_waitfor_fired_trigger_completes_immediately(sim):
+    trig = Trigger()
+    trig.fire(99)
+
+    def main():
+        value = yield WaitFor(trig)
+        return value
+
+    assert sim.run_process(main()) == 99
+
+
+def test_fork_spawns_child(sim):
+    order = []
+
+    def child(tag):
+        yield Busy(1.0)
+        order.append(tag)
+        return tag
+
+    def main():
+        c1 = yield Fork(child("a"), "child-a")
+        c2 = yield Fork(child("b"), "child-b")
+        yield WaitFor(c1.completion)
+        yield WaitFor(c2.completion)
+        return order
+
+    result = sim.run_process(main())
+    assert sorted(result) == ["a", "b"]
+
+
+def test_process_exception_wrapped(sim):
+    def bad():
+        yield Busy(1.0)
+        raise ValueError("boom")
+
+    sim.spawn(bad(), "bad")
+    with pytest.raises(ProcessFailed) as exc:
+        sim.run()
+    assert isinstance(exc.value.original, ValueError)
+    assert exc.value.process_name == "bad"
+
+
+def test_deadlock_detection(sim):
+    def stuck():
+        yield WaitFor(Trigger())   # never fires
+
+    sim.spawn(stuck(), "stuck-proc")
+    with pytest.raises(DeadlockError) as exc:
+        sim.run()
+    assert "stuck-proc" in exc.value.blocked
+
+
+def test_deadlock_detection_can_be_disabled(sim):
+    def stuck():
+        yield WaitFor(Trigger())
+
+    sim.spawn(stuck(), "s")
+    sim.run(error_on_deadlock=False)  # no raise
+
+
+def test_invalid_yield_rejected(sim):
+    def bad():
+        yield "not a command"
+
+    sim.spawn(bad(), "bad")
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_completion_trigger_carries_result(sim):
+    def main():
+        yield Busy(1.0)
+        return "done"
+
+    collected = []
+    p = sim.spawn(main(), "m")
+    p.completion.add_waiter(collected.append)
+    sim.run()
+    assert collected == ["done"]
+
+
+def test_determinism_same_seedless_schedule(sim):
+    """Two identical simulations produce identical event interleavings."""
+
+    def build(sim_):
+        log = []
+
+        def proc(tag, delay):
+            yield Busy(delay)
+            log.append((tag, sim_.now))
+            yield Busy(delay)
+            log.append((tag, sim_.now))
+
+        for i in range(5):
+            sim_.spawn(proc(i, 1.0 + i * 0.5), f"p{i}")
+        return log
+
+    log1 = build(sim)
+    sim.run()
+    sim2 = Simulator()
+    log2 = build(sim2)
+    sim2.run()
+    assert log1 == log2

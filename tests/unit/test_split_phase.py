@@ -1,0 +1,134 @@
+"""Tests for the split-phase (non-blocking) reduce extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import SplitPhaseReduce
+from repro.mpich.operations import MAX, SUM
+from repro.mpich.rank import MpiBuild
+from conftest import contribution, expected_sum, run_ranks
+
+
+def split_program(*, elements=4, root=0, overlap_us=300.0, rounds=1,
+                  skew_fn=None, op=SUM):
+    def program(mpi):
+        split = SplitPhaseReduce(mpi.ab_engine)
+        results = []
+        timings = []
+        for i in range(rounds):
+            if skew_fn is not None:
+                yield from mpi.compute(skew_fn(mpi.rank, i))
+            data = contribution(mpi.rank, elements) * (i + 1)
+            t0 = mpi.now
+            handle = yield from split.start(data, op, root, mpi.comm_world)
+            start_cost = mpi.now - t0
+            yield from mpi.compute(overlap_us)
+            t1 = mpi.now
+            result = yield from split.wait(handle)
+            wait_cost = mpi.now - t1
+            timings.append((start_cost, wait_cost))
+            results.append(None if result is None else
+                           np.array(result, copy=True))
+        yield from mpi.compute(200.0)
+        yield from mpi.barrier()
+        return results, timings
+
+    return program
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 8, 16])
+def test_split_reduce_correct(size):
+    out = run_ranks(size, split_program(), build=MpiBuild.AB)
+    results, _ = out.results[0]
+    assert np.allclose(results[0], expected_sum(size, 4))
+
+
+@pytest.mark.parametrize("root", [0, 2, 5])
+def test_split_reduce_nonzero_root(root):
+    out = run_ranks(8, split_program(root=root), build=MpiBuild.AB)
+    results, _ = out.results[root]
+    assert np.allclose(results[0], expected_sum(8, 4))
+
+
+def test_root_start_does_not_block():
+    """The whole point: the root's start() returns immediately even though
+    a child is 400us late, and the overlapped compute hides the tree."""
+    skew = lambda rank, i: 400.0 if rank == 3 else 0.0
+    out = run_ranks(8, split_program(overlap_us=800.0, skew_fn=skew),
+                    build=MpiBuild.AB)
+    results, timings = out.results[0]
+    start_cost, wait_cost = timings[0]
+    assert start_cost < 20.0
+    assert wait_cost < 20.0            # the 800us compute hid everything
+    assert np.allclose(results[0], expected_sum(8, 4))
+    split0 = out.contexts[0].ab_engine.extensions["ireduce_root"]
+    assert split0.stats.async_root_children >= 1
+
+
+def test_wait_blocks_when_overlap_too_short():
+    skew = lambda rank, i: 600.0 if rank == 1 else 0.0
+    out = run_ranks(4, split_program(overlap_us=50.0, skew_fn=skew),
+                    build=MpiBuild.AB)
+    results, timings = out.results[0]
+    _, wait_cost = timings[0]
+    assert wait_cost > 400.0           # had to wait for the late leaf
+    assert np.allclose(results[0], expected_sum(4, 4))
+
+
+def test_back_to_back_split_reduces():
+    rounds = 4
+    out = run_ranks(8, split_program(rounds=rounds), build=MpiBuild.AB)
+    results, _ = out.results[0]
+    for i in range(rounds):
+        assert np.allclose(results[i], expected_sum(8, 4) * (i + 1))
+
+
+def test_split_reduce_max_op():
+    out = run_ranks(8, split_program(op=MAX), build=MpiBuild.AB)
+    results, _ = out.results[0]
+    assert np.allclose(results[0], 8.0)
+
+
+def test_mixing_split_and_blocking_reduces():
+    """Split-phase and ordinary blocking reduces interleave correctly
+    (instances stay matched)."""
+    def program(mpi):
+        split = SplitPhaseReduce(mpi.ab_engine)
+        h = yield from split.start(contribution(mpi.rank, 2), SUM, 0,
+                                   mpi.comm_world)
+        blocking = yield from mpi.reduce(contribution(mpi.rank, 2) * 10.0,
+                                         op=SUM, root=0)
+        first = yield from split.wait(h)
+        yield from mpi.compute(200.0)
+        yield from mpi.barrier()
+        if mpi.rank == 0:
+            return float(first[0]), float(blocking[0])
+        return None
+
+    out = run_ranks(8, program, build=MpiBuild.AB)
+    assert out.results[0] == (36.0, 360.0)
+
+
+def test_signals_unpinned_after_completion():
+    out = run_ranks(8, split_program(), build=MpiBuild.AB)
+    for ctx in out.contexts:
+        assert ctx.ab_engine.signal_pins == 0
+        assert not ctx.node.nic.signals_enabled
+    split0 = out.contexts[0].ab_engine.extensions["ireduce_root"]
+    assert split0.outstanding_roots == 0
+
+
+def test_handle_properties():
+    def program(mpi):
+        split = SplitPhaseReduce(mpi.ab_engine)
+        h = yield from split.start(np.array([1.0]), SUM, 0, mpi.comm_world)
+        if mpi.rank != 0:
+            assert h.done                 # non-root completes at start
+        result = yield from split.wait(h)
+        assert h.done
+        yield from mpi.compute(100.0)
+        yield from mpi.barrier()
+        return None if result is None else float(result[0])
+
+    out = run_ranks(4, program, build=MpiBuild.AB)
+    assert out.results[0] == 4.0

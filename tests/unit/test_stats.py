@@ -1,0 +1,70 @@
+"""Tests for the benchmark statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.stats import SampleSummary, factor_with_ci, summarize
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.n == 4
+    assert s.mean == 2.5
+    assert s.minimum == 1.0 and s.maximum == 4.0
+    assert s.median == 2.5
+    assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+    assert s.ci95 == pytest.approx(1.96 * s.std / 2.0)
+
+
+def test_summarize_single_sample():
+    s = summarize([7.0])
+    assert (s.n, s.mean, s.std, s.ci95) == (1, 7.0, 0.0, 0.0)
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summarize_flattens():
+    s = summarize(np.ones((3, 4)))
+    assert s.n == 12 and s.mean == 1.0 and s.std == 0.0
+
+
+def test_relative_ci():
+    s = summarize([10.0, 10.0, 10.0])
+    assert s.relative_ci == 0.0
+    z = SampleSummary(n=2, mean=0.0, std=1.0, minimum=-1, maximum=1,
+                      median=0.0, ci95=1.0)
+    assert z.relative_ci == 0.0   # guarded division
+
+
+def test_str_rendering():
+    text = str(summarize([1.0, 3.0]))
+    assert "±" in text and "n=2" in text
+
+
+def test_factor_with_ci():
+    num = summarize([100.0, 110.0, 90.0, 100.0])
+    den = summarize([20.0, 22.0, 18.0, 20.0])
+    factor, half = factor_with_ci(num, den)
+    assert factor == pytest.approx(5.0)
+    assert half > 0.0
+    with pytest.raises(ValueError):
+        factor_with_ci(num, SampleSummary(1, 0.0, 0.0, 0, 0, 0, 0))
+
+
+def test_benchmarks_attach_summaries():
+    from repro import MpiBuild, paper_cluster
+    from repro.bench import cpu_util_benchmark, latency_benchmark
+
+    r = cpu_util_benchmark(paper_cluster(4, seed=1), MpiBuild.AB,
+                           elements=4, max_skew_us=200.0, iterations=12)
+    assert r.summary is not None
+    assert r.summary.n == 12
+    assert r.summary.mean == pytest.approx(r.avg_util_us)
+
+    lat = latency_benchmark(paper_cluster(4, seed=1), MpiBuild.DEFAULT,
+                            elements=1, iterations=12)
+    assert lat.summary.n == 12
+    assert lat.summary.mean == pytest.approx(lat.avg_latency_us)
