@@ -1,0 +1,116 @@
+"""Baseline file handling for simlint.
+
+A baseline records the fingerprints of accepted (grandfathered) findings so
+CI can gate on *new* debt only.  Entries are keyed by fingerprint with an
+occurrence count, so two identical offending lines in one file need two
+baseline slots — fixing one of them shrinks the budget.
+
+The on-disk format is sorted JSON for stable diffs::
+
+    {
+      "version": 1,
+      "entries": [
+        {"fingerprint": "...", "rule": "SIM002", "path": "repro/...",
+         "line": 42, "count": 1, "note": "optional justification"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Malformed or unreadable baseline file."""
+
+
+class Baseline:
+    """Budget of accepted findings, keyed by fingerprint."""
+
+    def __init__(self, counts: Optional[dict[str, int]] = None,
+                 meta: Optional[dict[str, dict]] = None):
+        self.counts: Counter = Counter(counts or {})
+        #: fingerprint -> representative entry (rule/path/note), for saves.
+        self.meta: dict[str, dict] = dict(meta or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      note: str = "") -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            fp = finding.fingerprint
+            baseline.counts[fp] += 1
+            baseline.meta.setdefault(fp, {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "note": note,
+            })
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported version "
+                f"{raw.get('version') if isinstance(raw, dict) else raw!r}")
+        counts: dict[str, int] = {}
+        meta: dict[str, dict] = {}
+        for entry in raw.get("entries", []):
+            fp = entry.get("fingerprint")
+            if not fp:
+                raise BaselineError(f"baseline {path}: entry missing "
+                                    f"fingerprint: {entry}")
+            counts[fp] = counts.get(fp, 0) + int(entry.get("count", 1))
+            meta.setdefault(fp, {k: entry[k] for k in
+                                 ("rule", "path", "line", "note")
+                                 if k in entry})
+        return cls(counts, meta)
+
+    def save(self, path: Path | str) -> None:
+        entries = []
+        for fp in sorted(self.counts):
+            entry = {"fingerprint": fp, "count": self.counts[fp]}
+            entry.update(self.meta.get(fp, {}))
+            entries.append(entry)
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                              + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    def filter(self, findings: Iterable[Finding]
+               ) -> tuple[list[Finding], int, int]:
+        """Split findings into (new, baselined_count, stale_entry_count).
+
+        Each baseline slot absorbs one occurrence of its fingerprint;
+        occurrences beyond the budget are new findings.  Stale entries are
+        budget that matched nothing (candidates for baseline cleanup).
+        """
+        budget = Counter(self.counts)
+        new: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            fp = finding.fingerprint
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        stale = sum(budget.values())
+        return new, baselined, stale
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

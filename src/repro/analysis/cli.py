@@ -1,0 +1,123 @@
+"""Command-line front end: ``python -m repro.analysis [options] paths...``
+
+Exit codes: 0 — clean (possibly after baseline filtering); 1 — new
+findings; 2 — usage error (bad flags, missing paths, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .baseline import Baseline, BaselineError
+from .simlint import RULES, Linter, SIM_SCOPED_PACKAGES
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="simlint: sim-aware static analysis for the repro "
+                    "codebase")
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="baseline JSON of accepted findings")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="(re)write --baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule IDs to run "
+                             "(default: all)")
+    parser.add_argument("--sim-scope", metavar="PKGS",
+                        default=",".join(sorted(SIM_SCOPED_PACKAGES)),
+                        help="repro sub-packages where determinism rules "
+                             "apply")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse already printed the message
+        return EXIT_USAGE if exc.code not in (0, None) else EXIT_CLEAN
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id]}")
+        return EXIT_CLEAN
+
+    if not args.paths:
+        print("error: no paths given (try: python -m repro.analysis src/)",
+              file=sys.stderr)
+        return EXIT_USAGE
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: path(s) do not exist: {', '.join(missing)}",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    select = None
+    if args.select:
+        select = {r.strip() for r in args.select.split(",") if r.strip()}
+        unknown = select - set(RULES)
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+
+    sim_scope = {p.strip() for p in args.sim_scope.split(",") if p.strip()}
+    linter = Linter(select=select, sim_scope=sim_scope)
+    findings = linter.lint_paths(args.paths)
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("error: --write-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        Baseline.from_findings(findings).save(args.baseline)
+        print(f"wrote baseline with {len(findings)} finding(s) to "
+              f"{args.baseline}")
+        return EXIT_CLEAN
+
+    baselined = stale = 0
+    if args.baseline and Path(args.baseline).exists():
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        findings, baselined, stale = baseline.filter(findings)
+
+    if args.format == "json":
+        counts: dict[str, int] = {}
+        for finding in findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        print(json.dumps({
+            "version": 1,
+            "findings": [f.to_dict() for f in findings],
+            "counts": counts,
+            "baselined": baselined,
+            "stale_baseline_entries": stale,
+        }, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = [f"{len(findings)} finding(s)"]
+        if baselined:
+            summary.append(f"{baselined} baselined")
+        if stale:
+            summary.append(f"{stale} stale baseline entr(ies) — "
+                           f"consider --write-baseline")
+        print("simlint: " + ", ".join(summary))
+
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

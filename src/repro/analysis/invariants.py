@@ -1,0 +1,237 @@
+"""Runtime protocol-invariant checking for the application-bypass engine.
+
+The paper's Sec. IV protocol is a small state machine with invariants that
+are easy to break during refactors and hard to catch from timing-level
+tests alone.  :class:`InvariantMonitor` hooks the simulator, the GM NICs
+and each rank's :class:`~repro.core.engine.AbEngine` and checks:
+
+``INV-SIGNAL`` (Sec. IV, Figs. 3 & 5)
+    NIC signals may only be *enabled* while work is outstanding (a reduce
+    descriptor is queued or an extension holds a signal pin), and whenever
+    the descriptor queue drains with no pins held the signals must end up
+    disabled.  At the exit of every AB ``MPI_Reduce`` the paper's diamond
+    holds exactly: signals enabled *iff* descriptors remain (or pins).
+
+``INV-COPY`` (Sec. V-B/V-C)
+    Per AB message class the host copy count is fixed: expected/late
+    messages are combined straight from the packet buffer (0 copies),
+    early (unexpected) messages pay exactly 1 copy into the AB unexpected
+    queue; the rejected reuse-the-MPICH-queues ablation pays one more of
+    each.  Checked per message and, at finalize, as a counter identity
+    over the engine's statistics.
+
+``INV-DRAIN`` (Sec. IV-C)
+    At finalize every descriptor queue and AB unexpected queue is empty —
+    no reduction was dropped half-combined.
+
+``INV-CLOCK``
+    Event times popped by the simulator never run backwards.
+
+Violations are collected into a structured report.  In ``assert`` mode the
+first violation raises :class:`~repro.errors.InvariantViolation`
+immediately (for CI); in ``collect`` mode the run continues and the report
+is inspected afterwards (for diagnosis).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import InvariantViolation
+from .findings import Violation
+
+COLLECT = "collect"
+ASSERT = "assert"
+
+#: Process-wide default factory; installed by test harnesses so every
+#: :class:`~repro.cluster.cluster.Cluster` built while it is set gets a
+#: monitor without plumbing one through each call site.
+_default_factory: Optional[Callable[[], "InvariantMonitor"]] = None
+
+
+def set_default_monitor_factory(
+        factory: Optional[Callable[[], "InvariantMonitor"]]) -> None:
+    global _default_factory
+    _default_factory = factory
+
+
+def make_default_monitor() -> Optional["InvariantMonitor"]:
+    return _default_factory() if _default_factory is not None else None
+
+
+class InvariantMonitor:
+    """Pluggable protocol-invariant checker (see module docstring)."""
+
+    def __init__(self, mode: str = COLLECT):
+        if mode not in (COLLECT, ASSERT):
+            raise ValueError(f"unknown monitor mode {mode!r}")
+        self.mode = mode
+        self.violations: list[Violation] = []
+        self.checks = 0
+        self._engines: dict[int, object] = {}
+        self._cluster = None
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, cluster) -> None:
+        """Hook a fully built cluster (sim loop + every NIC)."""
+        self._cluster = cluster
+        cluster.sim.add_monitor(self)
+        for node in cluster.nodes:
+            node.nic.monitor = self
+
+    def register_engine(self, engine) -> None:
+        """Called by :class:`AbEngine.__init__` when a monitor is wired."""
+        self._engines[engine.rank.rank] = engine
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record(self, invariant: str, node: Optional[int], time: float,
+               detail: str, **context) -> None:
+        violation = Violation(invariant=invariant, node=node, time=time,
+                              detail=detail, context=context)
+        self.violations.append(violation)
+        if self.mode == ASSERT:
+            raise InvariantViolation(violation.render(), self.report())
+
+    def report(self) -> dict:
+        """Structured summary (JSON-serializable)."""
+        return {
+            "mode": self.mode,
+            "checks": self.checks,
+            "violation_count": len(self.violations),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    # ------------------------------------------------------------------
+    # hook points
+    # ------------------------------------------------------------------
+    def on_event(self, event_time: float, now: float) -> None:
+        """Simulator pops an event (called before the clock advances)."""
+        self.checks += 1
+        if event_time < now:
+            self.record("INV-CLOCK", None, now,
+                        f"event time {event_time} precedes current time "
+                        f"{now} — the virtual clock ran backwards")
+
+    def on_signal_toggle(self, node_id: int, enabled: bool,
+                         now: float) -> None:
+        """NIC signal generation actually flipped (not a re-enable)."""
+        self.checks += 1
+        if not enabled:
+            return
+        engine = self._engines.get(node_id)
+        if engine is None:
+            return  # raw-NIC use (tests) — nothing to cross-check against
+        if engine.descriptors.empty and engine.signal_pins == 0:
+            self.record(
+                "INV-SIGNAL", node_id, now,
+                "signals enabled with an empty descriptor queue and no "
+                "signal pins — nothing outstanding can justify them "
+                "(paper Fig. 3 exit diamond)",
+                descriptors=len(engine.descriptors),
+                pins=engine.signal_pins)
+
+    def on_queue_drained(self, node_id: int, now: float) -> None:
+        """Descriptor queue reached empty with no pins held."""
+        self.checks += 1
+        engine = self._engines.get(node_id)
+        if engine is None:
+            return
+        if engine.nic.signals_enabled:
+            self.record(
+                "INV-SIGNAL", node_id, now,
+                "descriptor queue drained (no pins) but NIC signals are "
+                "still enabled (paper Fig. 5: 'descriptor queue empty? -> "
+                "disable signals')")
+
+    def on_reduce_exit(self, node_id: int, now: float) -> None:
+        """Synchronous component of an AB MPI_Reduce returned."""
+        self.checks += 1
+        engine = self._engines.get(node_id)
+        if engine is None:
+            return
+        outstanding = (not engine.descriptors.empty
+                       or engine.signal_pins > 0)
+        enabled = engine.nic.signals_enabled
+        if outstanding != enabled:
+            self.record(
+                "INV-SIGNAL", node_id, now,
+                f"MPI_Reduce exit: signals_enabled={enabled} but "
+                f"outstanding work={outstanding} (descriptors="
+                f"{len(engine.descriptors)}, pins={engine.signal_pins}) — "
+                f"Fig. 3 requires them to match",
+                descriptors=len(engine.descriptors),
+                pins=engine.signal_pins)
+
+    def on_ab_message(self, node_id: int, msg_class: str, copies: int,
+                      reuse_mpich_queues: bool, now: float) -> None:
+        """One AB reduce packet was classified and combined/buffered."""
+        self.checks += 1
+        expected = {"expected": 0, "unexpected": 1}.get(msg_class)
+        if expected is None:
+            self.record("INV-COPY", node_id, now,
+                        f"unknown AB message class {msg_class!r}")
+            return
+        if reuse_mpich_queues:
+            expected += 1
+        if copies != expected:
+            self.record(
+                "INV-COPY", node_id, now,
+                f"{msg_class} AB message paid {copies} host copies, "
+                f"protocol requires exactly {expected} "
+                f"(paper Sec. V-B/V-C)",
+                msg_class=msg_class, copies=copies, expected=expected)
+
+    # ------------------------------------------------------------------
+    # finalize
+    # ------------------------------------------------------------------
+    def finalize(self) -> dict:
+        """End-of-run checks; returns the structured report."""
+        self._finalized = True
+        for node_id, engine in sorted(self._engines.items()):
+            now = engine.sim.now
+            self.checks += 1
+            if not engine.descriptors.empty:
+                self.record(
+                    "INV-DRAIN", node_id, now,
+                    f"{len(engine.descriptors)} reduce descriptor(s) still "
+                    f"queued at finalize — a reduction never completed",
+                    descriptors=len(engine.descriptors))
+            if not engine.unexpected.empty:
+                self.record(
+                    "INV-DRAIN", node_id, now,
+                    f"{len(engine.unexpected)} AB unexpected entr(ies) "
+                    f"never consumed at finalize",
+                    unexpected=len(engine.unexpected))
+            if engine.nic.signals_enabled and engine.signal_pins == 0:
+                self.record(
+                    "INV-SIGNAL", node_id, now,
+                    "NIC signals still enabled at finalize with no pins "
+                    "held and an empty descriptor queue")
+            self._check_copy_identity(node_id, engine, now)
+        return self.report()
+
+    def _check_copy_identity(self, node_id: int, engine, now: float) -> None:
+        """Sec. V-B/V-C copy accounting as a counter identity."""
+        stats = engine.stats
+        per_unexpected = 2 if engine.params.reuse_mpich_queues else 1
+        per_expected = 1 if engine.params.reuse_mpich_queues else 0
+        expected_copies = (stats.unexpected_one_copy * per_unexpected
+                           + stats.expected_zero_copy * per_expected)
+        if stats.ab_copies != expected_copies:
+            self.record(
+                "INV-COPY", node_id, now,
+                f"copy accounting drifted: {stats.ab_copies} copies "
+                f"recorded, identity predicts {expected_copies} "
+                f"({stats.unexpected_one_copy} unexpected x "
+                f"{per_unexpected} + {stats.expected_zero_copy} "
+                f"expected x {per_expected})",
+                ab_copies=stats.ab_copies, expected=expected_copies)

@@ -1,0 +1,461 @@
+"""simlint — an AST linter for the hazards this codebase actually has.
+
+The simulation's correctness rests on conventions ``pytest`` cannot see:
+
+* every generator-process operation must be driven with ``yield from`` —
+  a dropped ``yield from mpi.barrier()`` silently creates a generator
+  object, discards it, and the rank simply *skips* the barrier;
+* all time and randomness must flow through the virtual clock
+  (``Simulator.now``) and the named streams of
+  :class:`~repro.sim.random.RngStreams` — one stray ``time.time()`` makes
+  runs non-reproducible;
+* CPU costs tallied on a :class:`~repro.sim.cpu.Ledger` must eventually be
+  yielded as ``Busy`` time or handed to a consumer, or the simulated work
+  becomes free.
+
+Rules (stable IDs; suppress per line with ``# simlint: ignore[SIM001]``):
+
+========  ==============================================================
+SIM000    file does not parse (syntax error)
+SIM001    generator-process call result discarded / yielded without
+          ``from`` (dropped SimGen)
+SIM002    wall-clock time or ambient randomness in simulation-critical
+          code (use ``Simulator.now`` / ``RngStreams``)
+SIM003    float equality comparison on simulation timestamps
+SIM004    ``Ledger`` charged but never consumed (missing
+          ``yield Busy.from_ledger(...)`` or hand-off)
+SIM005    mutable default argument
+SIM006    late-binding capture of a loop variable in a callback
+========  ==============================================================
+
+Detection of dropped SimGens is *two-pass*: pass 1 collects every function
+or method defined in the linted file set and records whether it is a
+generator; a name is treated as generator-process API only when **all**
+definitions of that name are generators (ambiguous names such as ``wait`` —
+a generator on ``ProgressEngine`` but a plain method on ``Notifier`` — fall
+back to the receiver-hint table below).  This keeps the rule in sync with
+the codebase automatically as APIs grow.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .findings import Finding, normalize_path
+
+RULES: dict[str, str] = {
+    "SIM000": "syntax error (file does not parse)",
+    "SIM001": "generator-process call without `yield from` (dropped SimGen)",
+    "SIM002": "wall-clock/ambient randomness in simulation-critical code",
+    "SIM003": "float equality comparison on simulation timestamps",
+    "SIM004": "Ledger charged but never consumed",
+    "SIM005": "mutable default argument",
+    "SIM006": "late-binding loop-variable capture in callback",
+}
+
+#: repro sub-packages in which SIM002 (determinism) applies.  Everything
+#: that executes *inside* the simulated world is here; report/bench/
+#: experiments drivers run outside it and may legitimately look at the
+#: host clock.
+SIM_SCOPED_PACKAGES = frozenset({
+    "sim", "mpich", "gm", "network", "core", "cluster", "apps", "runtime",
+})
+
+#: Fully-qualified callables that read the host wall clock or ambient
+#: process state.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.process_time",
+    "time.process_time_ns", "time.clock",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+})
+
+#: Any call resolving under these prefixes is ambient randomness.
+_NONDET_PREFIXES = ("random.", "numpy.random.", "secrets.")
+
+#: Receiver-hint fallback for generator-method names that are ambiguous
+#: across the codebase: (last attribute of the receiver, method name).
+_RECEIVER_GEN_CALLS = frozenset({
+    ("mpi", "send"), ("mpi", "wait"), ("mpi", "test"),
+    ("rank", "send"), ("rank", "wait"),
+    ("progress", "wait"), ("progress", "wait_all"),
+    ("split", "wait"),
+})
+
+#: Attribute/variable names that denote simulation timestamps (SIM003).
+_TIME_NAME = re.compile(r"^(now|deadline)$|(_at|_time)$")
+
+_IGNORE_PRAGMA = re.compile(
+    r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
+
+
+def _is_generator_def(fn: ast.AST) -> bool:
+    """True if ``fn`` (FunctionDef) contains a yield at its own scope."""
+    todo = list(getattr(fn, "body", []))
+    while todo:
+        node = todo.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        todo.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def collect_generator_names(trees: Iterable[ast.AST]) -> frozenset[str]:
+    """Names for which *every* definition in the file set is a generator."""
+    kinds: dict[str, set[bool]] = {}
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef):
+                kinds.setdefault(node.name, set()).add(
+                    _is_generator_def(node))
+    return frozenset(name for name, seen in kinds.items()
+                     if seen == {True})
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Second-pass per-file rule engine."""
+
+    def __init__(self, norm_path: str, source: str, gen_names: frozenset[str],
+                 sim_scoped: bool, select: Optional[frozenset[str]]):
+        self.path = norm_path
+        self.lines = source.splitlines()
+        self.gen_names = gen_names
+        self.sim_scoped = sim_scoped
+        self.select = select
+        self.findings: list[Finding] = []
+        self._imports: dict[str, str] = {}       # alias -> module path
+        self._from_imports: dict[str, str] = {}  # name -> fully dotted
+        self._loop_targets: list[set[str]] = []
+
+    # -- helpers -------------------------------------------------------
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if self.select is not None and rule not in self.select:
+            return
+        line = getattr(node, "lineno", 1)
+        text = self.lines[line - 1] if 0 < line <= len(self.lines) else ""
+        self.findings.append(Finding(
+            rule=rule, path=self.path, line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message, line_text=text))
+
+    def _dotted(self, node: ast.AST) -> Optional[str]:
+        """Resolve a call target to a dotted module path via imports."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        if base in self._imports:
+            parts.append(self._imports[base])
+        elif base in self._from_imports:
+            parts.append(self._from_imports[base])
+        else:
+            parts.append(base)
+        return ".".join(reversed(parts))
+
+    def _gen_call_name(self, call: ast.Call) -> Optional[str]:
+        """Human-readable name if ``call`` targets a generator process."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self.gen_names:
+                return func.id
+            return None
+        if isinstance(func, ast.Attribute):
+            if func.attr in self.gen_names:
+                return func.attr
+            receiver = func.value
+            hint = None
+            if isinstance(receiver, ast.Name):
+                hint = receiver.id
+            elif isinstance(receiver, ast.Attribute):
+                hint = receiver.attr
+            if hint is not None and (hint, func.attr) in _RECEIVER_GEN_CALLS:
+                return f"{hint}.{func.attr}"
+        return None
+
+    @staticmethod
+    def _is_time_expr(node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute):
+            return bool(_TIME_NAME.search(node.attr))
+        if isinstance(node, ast.Name):
+            return bool(_TIME_NAME.search(node.id))
+        return False
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._imports[alias.asname or alias.name.split(".")[0]] = \
+                alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            for alias in node.names:
+                self._from_imports[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    # -- SIM001: dropped SimGen ---------------------------------------
+    def visit_Expr(self, node: ast.Expr) -> None:
+        if isinstance(node.value, ast.Call):
+            name = self._gen_call_name(node.value)
+            if name is not None:
+                self._emit("SIM001", node,
+                           f"result of generator process `{name}(...)` is "
+                           f"discarded — drive it with `yield from`")
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if isinstance(node.value, ast.Call):
+            name = self._gen_call_name(node.value)
+            if name is not None:
+                self._emit("SIM001", node,
+                           f"`yield {name}(...)` hands the driver a raw "
+                           f"generator — use `yield from`")
+        self.generic_visit(node)
+
+    # -- SIM002: wall clock / ambient randomness ----------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.sim_scoped:
+            dotted = self._dotted(node.func)
+            if dotted is not None:
+                if dotted in _WALL_CLOCK_CALLS:
+                    self._emit("SIM002", node,
+                               f"`{dotted}()` reads the host clock — "
+                               f"simulation code must use `Simulator.now`")
+                elif dotted.startswith(_NONDET_PREFIXES):
+                    self._emit("SIM002", node,
+                               f"`{dotted}()` is ambient randomness — use "
+                               f"a named `RngStreams` stream")
+        self.generic_visit(node)
+
+    # -- SIM003: float equality on timestamps -------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                sides = (left, right)
+                if any(self._is_time_expr(s) for s in sides) and not any(
+                        isinstance(s, ast.Constant) and s.value is None
+                        for s in sides):
+                    self._emit("SIM003", node,
+                               "float equality on a simulation timestamp — "
+                               "compare with an ordering or a tolerance")
+            left = right
+        self.generic_visit(node)
+
+    # -- SIM004/SIM005 + loop-context maintenance ---------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_mutable_defaults(node)
+        if _is_generator_def(node):
+            self._check_unconsumed_ledgers(node)
+        if self._loop_targets:
+            self._check_loop_capture(node, node.args, node.body)
+        # Function bodies get a fresh loop context.
+        saved, self._loop_targets = self._loop_targets, []
+        self.generic_visit(node)
+        self._loop_targets = saved
+
+    def _check_mutable_defaults(self, node: ast.FunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if (isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set")
+                    and not default.args and not default.keywords):
+                mutable = True
+            if mutable:
+                self._emit("SIM005", default,
+                           f"mutable default argument in `{node.name}` is "
+                           f"shared across calls — default to None")
+
+    def _check_unconsumed_ledgers(self, fn: ast.FunctionDef) -> None:
+        """In a generator, a charged local Ledger must be consumed —
+        yielded via ``Busy.from_ledger``, read (``.total``/``.charges``),
+        passed to another call, or returned."""
+        assigns: dict[str, ast.AST] = {}
+        charge_receivers: set[int] = set()
+        charged: set[str] = set()
+        nodes = [n for n in ast.walk(fn)]
+        for node in nodes:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+                if (isinstance(target, ast.Name)
+                        and isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id == "Ledger"):
+                    assigns[target.id] = node
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "charge"
+                    and isinstance(node.func.value, ast.Name)):
+                charged.add(node.func.value.id)
+                charge_receivers.add(id(node.func.value))
+        if not assigns:
+            return
+        consumed: set[str] = set()
+        for node in nodes:
+            if (isinstance(node, ast.Name) and node.id in assigns
+                    and isinstance(node.ctx, ast.Load)
+                    and id(node) not in charge_receivers):
+                consumed.add(node.id)
+        for name, site in assigns.items():
+            if name in charged and name not in consumed:
+                self._emit("SIM004", site,
+                           f"Ledger `{name}` accumulates charges that are "
+                           f"never consumed — the simulated CPU time is "
+                           f"lost (yield `Busy.from_ledger({name})`)")
+
+    # -- SIM006: loop-variable capture --------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        targets = {n.id for n in ast.walk(node.target)
+                   if isinstance(n, ast.Name)}
+        self._loop_targets.append(targets)
+        self.generic_visit(node)
+        self._loop_targets.pop()
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        if self._loop_targets:
+            self._check_loop_capture(node, node.args, [node.body])
+        self.generic_visit(node)
+
+    def _check_loop_capture(self, node: ast.AST, args: ast.arguments,
+                            body: Sequence[ast.AST]) -> None:
+        params = {a.arg for a in (args.posonlyargs + args.args
+                                  + args.kwonlyargs)}
+        if args.vararg:
+            params.add(args.vararg.arg)
+        if args.kwarg:
+            params.add(args.kwarg.arg)
+        active = set().union(*self._loop_targets)
+        free: set[str] = set()
+        todo = list(body)
+        while todo:
+            child = todo.pop()
+            # Default expressions of nested lambdas evaluate eagerly, so
+            # they bind the loop variable correctly — skip them.
+            if isinstance(child, ast.Lambda):
+                todo.extend(d for d in child.args.defaults)
+                continue
+            if isinstance(child, ast.Name) and isinstance(child.ctx,
+                                                          ast.Load):
+                free.add(child.id)
+            todo.extend(ast.iter_child_nodes(child))
+        captured = sorted((free & active) - params)
+        if captured:
+            self._emit("SIM006", node,
+                       f"callback captures loop variable(s) "
+                       f"{', '.join(captured)} by reference — late binding "
+                       f"will see the final value; bind via a default "
+                       f"argument (`lambda _v={captured[0]}: ...`)")
+
+
+# ----------------------------------------------------------------------
+# suppression pragmas
+# ----------------------------------------------------------------------
+def _suppressed_rules(line_text: str) -> Optional[frozenset[str]]:
+    """Rules ignored on this line; empty frozenset means *all* rules."""
+    match = _IGNORE_PRAGMA.search(line_text)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(r.strip() for r in rules.split(",") if r.strip())
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+class Linter:
+    """Two-pass linter over a set of files/directories."""
+
+    def __init__(self, select: Optional[Iterable[str]] = None,
+                 sim_scope: Optional[Iterable[str]] = None):
+        self.select = frozenset(select) if select is not None else None
+        self.sim_scope = (frozenset(sim_scope) if sim_scope is not None
+                          else SIM_SCOPED_PACKAGES)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def discover(paths: Iterable[Path | str]) -> list[Path]:
+        files: list[Path] = []
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            else:
+                files.append(path)
+        # De-duplicate while keeping deterministic order.
+        seen: set[Path] = set()
+        unique = []
+        for f in files:
+            resolved = f.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                unique.append(f)
+        return unique
+
+    def _sim_scoped(self, norm_path: str) -> bool:
+        parts = norm_path.split("/")
+        return (len(parts) >= 3 and parts[0] == "repro"
+                and parts[1] in self.sim_scope)
+
+    # ------------------------------------------------------------------
+    def lint_paths(self, paths: Iterable[Path | str]) -> list[Finding]:
+        files = self.discover(paths)
+        sources: dict[Path, str] = {}
+        trees: dict[Path, ast.AST] = {}
+        findings: list[Finding] = []
+        for file in files:
+            try:
+                source = file.read_text(encoding="utf-8")
+            except OSError as exc:
+                findings.append(Finding(
+                    "SIM000", normalize_path(file), 1, 1,
+                    f"cannot read file: {exc}"))
+                continue
+            sources[file] = source
+            try:
+                trees[file] = ast.parse(source, filename=str(file))
+            except SyntaxError as exc:
+                findings.append(Finding(
+                    "SIM000", normalize_path(file), exc.lineno or 1,
+                    (exc.offset or 0) + 1, f"syntax error: {exc.msg}"))
+
+        gen_names = collect_generator_names(trees.values())
+
+        for file, tree in trees.items():
+            norm = normalize_path(file)
+            linter = _FileLinter(norm, sources[file], gen_names,
+                                 self._sim_scoped(norm), self.select)
+            linter.visit(tree)
+            for finding in linter.findings:
+                ignored = _suppressed_rules(finding.line_text)
+                if ignored is not None and (not ignored
+                                            or finding.rule in ignored):
+                    continue
+                findings.append(finding)
+        unique = {(f.path, f.line, f.col, f.rule, f.message): f
+                  for f in findings}
+        return sorted(unique.values(),
+                      key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def lint_paths(paths: Iterable[Path | str], *,
+               select: Optional[Iterable[str]] = None) -> list[Finding]:
+    """Convenience wrapper: lint with default configuration."""
+    return Linter(select=select).lint_paths(paths)

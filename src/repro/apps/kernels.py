@@ -80,7 +80,7 @@ def conjugate_gradient(iterations: int = 20, *, n_local: int = 128,
     """
 
     def program(mpi):
-        rng = np.random.default_rng(7_000 + mpi.rank)
+        rng = mpi.rng_stream("kernel/cg")
         x = np.linspace(0.0, 1.0, n_local) + mpi.rank
         r = np.ones(n_local)
         stats = KernelStats(mpi.rank, iterations, 0.0, 0.0, 0.0)
@@ -127,7 +127,7 @@ def particle_timestep(iterations: int = 20, *, base_compute_us: float = 60.0,
     """
 
     def program(mpi):
-        rng = np.random.default_rng(9_000 + mpi.rank)
+        rng = mpi.rng_stream("kernel/particles")
         stats = KernelStats(mpi.rank, iterations, 0.0, 0.0, 0.0)
         t_start = mpi.now
         for step in range(iterations):
@@ -175,7 +175,7 @@ def cg_pipelined(iterations: int = 20, *, n_local: int = 128,
         if mpi.ab_engine is None:
             raise RuntimeError("cg_pipelined requires the AB build")
         split = SplitPhaseReduce(mpi.ab_engine)
-        rng = np.random.default_rng(7_000 + mpi.rank)
+        rng = mpi.rng_stream("kernel/cg")
         x = np.linspace(0.0, 1.0, n_local) + mpi.rank
         r = np.ones(n_local)
         stats = KernelStats(mpi.rank, iterations, 0.0, 0.0, 0.0)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..analysis.invariants import make_default_monitor
 from ..config import ClusterConfig
 from ..network.fabric import Fabric
 from ..sim.random import RngStreams
@@ -19,7 +20,8 @@ class Cluster:
     :func:`repro.runtime.program.run_program`).
     """
 
-    def __init__(self, config: ClusterConfig, tracer: Optional[Tracer] = None):
+    def __init__(self, config: ClusterConfig, tracer: Optional[Tracer] = None,
+                 monitor=None):
         self.config = config
         self.tracer = tracer or Tracer()
         self.sim = Simulator(self.tracer)
@@ -33,6 +35,12 @@ class Cluster:
         ]
         for node in self.nodes:
             node.rng = self.rng
+        #: Protocol-invariant monitor; explicit, or the process-wide
+        #: default the test harness installs, or None (production).
+        self.monitor = monitor if monitor is not None else \
+            make_default_monitor()
+        if self.monitor is not None:
+            self.monitor.attach(self)
 
     @property
     def size(self) -> int:

@@ -92,6 +92,11 @@ class AbEngine:
         self.descriptors = DescriptorQueue()
         self.unexpected = AbUnexpectedQueue()
         self.stats = AbStats()
+        #: Protocol-invariant monitor (repro.analysis.invariants), shared
+        #: cluster-wide via the NIC; None in unmonitored runs.
+        self.monitor = getattr(self.nic, "monitor", None)
+        if self.monitor is not None:
+            self.monitor.register_engine(self)
         #: Per-collective-context instance counters; every rank advances
         #: them identically because collectives execute in program order.
         self._instances: dict[int, int] = {}
@@ -123,6 +128,9 @@ class AbEngine:
         if (self.signal_pins == 0 and self.descriptors.empty
                 and self.nic.signals_enabled):
             self.nic.disable_signals(ledger if ledger is not None else Ledger())
+        if (self.signal_pins == 0 and self.descriptors.empty
+                and self.monitor is not None):
+            self.monitor.on_queue_drained(self.rank.rank, self.sim.now)
 
     # ==================================================================
     # role 1: the MPI_Reduce entry point (synchronous component, Fig. 3)
@@ -255,6 +263,8 @@ class AbEngine:
         exit_ledger = Ledger()
         if not self.descriptors.empty or self.signal_pins > 0:
             self.nic.enable_signals(exit_ledger)
+        if self.monitor is not None:
+            self.monitor.on_reduce_exit(self.rank.rank, self.sim.now)
         if exit_ledger.total > 0.0:
             yield Busy.from_ledger(exit_ledger)
         return None
@@ -299,6 +309,11 @@ class AbEngine:
                 self.stats.ab_copies += 1
                 self.stats.ab_copied_bytes += env.nbytes
             self.unexpected.put(env.src, header, data, self.sim.now)
+            if self.monitor is not None:
+                self.monitor.on_ab_message(
+                    self.rank.rank, "unexpected",
+                    2 if self.params.reuse_mpich_queues else 1,
+                    self.params.reuse_mpich_queues, self.sim.now)
             return True
 
         if desc.instance != header.instance:
@@ -314,6 +329,11 @@ class AbEngine:
             ledger.charge(self.costs.ab_reuse_mgmt_us, "ab")
             self.stats.ab_copies += 1
             self.stats.ab_copied_bytes += env.nbytes
+        if self.monitor is not None:
+            self.monitor.on_ab_message(
+                self.rank.rank, "expected",
+                1 if self.params.reuse_mpich_queues else 0,
+                self.params.reuse_mpich_queues, self.sim.now)
         self._absorb(desc, env.src, env.data, ledger)
         return True
 
@@ -356,6 +376,9 @@ class AbEngine:
                 and self.nic.signals_enabled):
             # "Descriptor queue empty? -> Disable signals" (Fig. 5).
             self.nic.disable_signals(ledger)
+        if (self.descriptors.empty and self.signal_pins == 0
+                and self.monitor is not None):
+            self.monitor.on_queue_drained(self.rank.rank, self.sim.now)
 
     def _consume_unexpected(self, desc: ReduceDescriptor,
                             ledger: Ledger) -> None:

@@ -67,3 +67,17 @@ class PinError(GmError):
 
 class AbProtocolError(ReproError):
     """Application-bypass reduction protocol invariant violated."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime protocol invariant tracked by
+    :class:`repro.analysis.invariants.InvariantMonitor` was violated while
+    the monitor ran in ``assert`` mode.
+
+    Carries the monitor's structured report so the failure shows *which*
+    paper invariant broke, on which node, at what virtual time.
+    """
+
+    def __init__(self, message: str, report: dict | None = None):
+        self.report = report or {}
+        super().__init__(message)

@@ -112,6 +112,9 @@ class Nic:
         #: SIGIO, the handler drains everything that arrived meanwhile).
         self._signal_pending = False
         self.stats = NicStats()
+        #: Invariant monitor notified on signal-enable transitions (see
+        #: repro.analysis.invariants); None in production runs.
+        self.monitor = None
 
         fabric.attach(node_id, self._on_wire_arrival)
 
@@ -182,6 +185,8 @@ class Nic:
         if self.signals_enabled:
             return
         self.signals_enabled = True
+        if self.monitor is not None:
+            self.monitor.on_signal_toggle(self.node_id, True, self.sim.now)
         # Close the enable/arrival race: if AB packets already landed, the
         # modified control program raises the signal immediately.
         if any(p.ptype is PacketType.AB_COLLECTIVE for p in self.rx_queue):
@@ -191,6 +196,8 @@ class Nic:
         """Stop signal generation (descriptor queue drained, Fig. 5)."""
         ledger.charge(self.params.signal_toggle_us * self.host_scale, "signal")
         self.stats.signal_toggles += 1
+        if self.signals_enabled and self.monitor is not None:
+            self.monitor.on_signal_toggle(self.node_id, False, self.sim.now)
         self.signals_enabled = False
 
     # ------------------------------------------------------------------

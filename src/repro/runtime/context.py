@@ -60,6 +60,16 @@ class MpiContext:
         """Current virtual time in microseconds."""
         return self.sim.now
 
+    def rng_stream(self, purpose: str) -> np.random.Generator:
+        """Deterministic per-rank random stream.
+
+        Seeded from the cluster seed and ``(purpose, rank)`` via
+        :class:`~repro.sim.random.RngStreams`, so application-level
+        randomness is reproducible and isolated — adding a new consumer
+        never perturbs existing streams.
+        """
+        return self.node.rng.node_stream(purpose, self.rank)
+
     # -- application compute ------------------------------------------------
     def compute(self, duration_us: float, category: str = "app") -> Generator:
         """Interruptible application busy-loop (paper's delay loops).

@@ -75,6 +75,11 @@ def run_program(config_or_cluster: Union[ClusterConfig, Cluster],
         for ctx in contexts
     ]
     cluster.sim.run()
+    monitor = getattr(cluster, "monitor", None)
+    if monitor is not None:
+        # End-of-run protocol invariants: queues drained, signals idle,
+        # copy accounting consistent (repro.analysis.invariants).
+        monitor.finalize()
     return ProgramResult(
         cluster=cluster,
         contexts=contexts,

@@ -28,6 +28,14 @@ class Simulator:
         self.processes: list[SimProcess] = []
         self._live_processes = 0
         self.events_processed = 0
+        #: Invariant monitors notified on every event pop (see
+        #: repro.analysis.invariants); empty in production runs so the
+        #: hot loop pays a single falsy check.
+        self.monitors: list = []
+
+    def add_monitor(self, monitor) -> None:
+        """Register an invariant monitor's ``on_event`` hook."""
+        self.monitors.append(monitor)
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -66,6 +74,7 @@ class Simulator:
             error_on_deadlock: bool = True) -> float:
         """Drain the event queue (optionally bounded); returns final time."""
         queue = self.queue
+        monitors = self.monitors
         processed = 0
         while True:
             if max_events is not None and processed >= max_events:
@@ -73,6 +82,11 @@ class Simulator:
             if until is not None:
                 next_time = queue.peek_time()
                 if next_time is None:
+                    # Queue drained before the bound: the clock still
+                    # advances to `until`, exactly as it does when an
+                    # event beyond the bound remains queued.
+                    if until > self.now:
+                        self.now = until
                     break
                 if next_time > until:
                     # Leave the event queued so the run can be resumed.
@@ -81,6 +95,9 @@ class Simulator:
             ev = queue.pop()
             if ev is None:
                 break
+            if monitors:
+                for monitor in monitors:
+                    monitor.on_event(ev.time, self.now)
             self.now = ev.time
             ev.fn(*ev.args)
             processed += 1

@@ -6,7 +6,25 @@ import numpy as np
 import pytest
 
 from repro import MpiBuild, quiet_cluster, run_program
+from repro.analysis import (ASSERT, InvariantMonitor,
+                            set_default_monitor_factory)
 from repro.sim.simulator import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _protocol_invariants():
+    """Run every scenario under the protocol-invariant monitor.
+
+    Each Cluster built while this fixture is active gets an
+    InvariantMonitor in assert mode, so all AB/nab integration scenarios
+    also exercise the paper's Sec. IV descriptor/signal protocol and the
+    Sec. V copy accounting (see repro.analysis.invariants).
+    """
+    set_default_monitor_factory(lambda: InvariantMonitor(mode=ASSERT))
+    try:
+        yield
+    finally:
+        set_default_monitor_factory(None)
 
 
 @pytest.fixture

@@ -1,0 +1,177 @@
+"""Exit codes, JSON schema and baseline round-trip for the analysis CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, BaselineError
+from repro.analysis.cli import (EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main)
+
+CLEAN_SOURCE = """
+    def driver():
+        yield from helper()
+
+    def helper():
+        yield 1
+"""
+
+DIRTY_SOURCE = """
+    import time
+
+    def helper():
+        yield 1
+
+    def driver():
+        helper()
+        t = time.time()
+        yield t
+"""
+
+
+def write_module(tmp_path: Path, source: str,
+                 relpath: str = "repro/sim/mod.py") -> Path:
+    file = tmp_path / relpath
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(textwrap.dedent(source), encoding="utf-8")
+    return file
+
+
+# ----------------------------------------------------------------------
+# exit codes
+# ----------------------------------------------------------------------
+def test_exit_clean(tmp_path, capsys):
+    write_module(tmp_path, CLEAN_SOURCE)
+    assert main([str(tmp_path)]) == EXIT_CLEAN
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_exit_findings(tmp_path, capsys):
+    write_module(tmp_path, DIRTY_SOURCE)
+    assert main([str(tmp_path)]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "SIM001" in out and "SIM002" in out
+
+
+def test_exit_usage_on_missing_path(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == EXIT_USAGE
+    assert "do not exist" in capsys.readouterr().err
+
+
+def test_exit_usage_on_no_paths(capsys):
+    assert main([]) == EXIT_USAGE
+    assert "no paths" in capsys.readouterr().err
+
+
+def test_exit_usage_on_bad_flag(capsys):
+    assert main(["--format", "yaml", "x.py"]) == EXIT_USAGE
+
+
+def test_exit_usage_on_unknown_rule(tmp_path, capsys):
+    write_module(tmp_path, CLEAN_SOURCE)
+    assert main(["--select", "SIM999", str(tmp_path)]) == EXIT_USAGE
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"):
+        assert rule in out
+
+
+# ----------------------------------------------------------------------
+# JSON output schema
+# ----------------------------------------------------------------------
+def test_json_output_schema(tmp_path, capsys):
+    write_module(tmp_path, DIRTY_SOURCE)
+    assert main(["--format", "json", str(tmp_path)]) == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert set(payload) == {"version", "findings", "counts", "baselined",
+                            "stale_baseline_entries"}
+    assert payload["counts"]["SIM001"] == 1
+    assert payload["counts"]["SIM002"] == 1
+    for finding in payload["findings"]:
+        assert set(finding) == {"rule", "path", "line", "col", "message",
+                                "fingerprint"}
+        assert finding["path"].startswith("repro/")
+        assert finding["line"] > 0 and finding["col"] > 0
+
+
+def test_json_output_clean(tmp_path, capsys):
+    write_module(tmp_path, CLEAN_SOURCE)
+    assert main(["--format", "json", str(tmp_path)]) == EXIT_CLEAN
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == [] and payload["counts"] == {}
+
+
+# ----------------------------------------------------------------------
+# baseline round-trip
+# ----------------------------------------------------------------------
+def test_baseline_round_trip(tmp_path, capsys):
+    write_module(tmp_path, DIRTY_SOURCE)
+    baseline = tmp_path / "baseline.json"
+
+    # 1. Dirty tree without a baseline: findings.
+    assert main([str(tmp_path / "repro")]) == EXIT_FINDINGS
+    # 2. Accept current debt into the baseline.
+    assert main(["--baseline", str(baseline), "--write-baseline",
+                 str(tmp_path / "repro")]) == EXIT_CLEAN
+    assert len(Baseline.load(baseline)) == 2
+    # 3. Same tree against the baseline: clean.
+    capsys.readouterr()
+    assert main(["--baseline", str(baseline),
+                 str(tmp_path / "repro")]) == EXIT_CLEAN
+    assert "2 baselined" in capsys.readouterr().out
+    # 4. New debt on top of the baseline: findings again.
+    write_module(tmp_path, DIRTY_SOURCE.replace(
+        "t = time.time()", "t = time.time()\n    u = time.monotonic()"))
+    assert main(["--baseline", str(baseline),
+                 str(tmp_path / "repro")]) == EXIT_FINDINGS
+    # 5. Fix everything: clean, and the stale entries are reported.
+    write_module(tmp_path, CLEAN_SOURCE)
+    capsys.readouterr()
+    assert main(["--baseline", str(baseline),
+                 str(tmp_path / "repro")]) == EXIT_CLEAN
+    assert "stale baseline" in capsys.readouterr().out
+    # 6. Rewriting the baseline empties it (the remove half of the trip).
+    assert main(["--baseline", str(baseline), "--write-baseline",
+                 str(tmp_path / "repro")]) == EXIT_CLEAN
+    assert len(Baseline.load(baseline)) == 0
+
+
+def test_write_baseline_requires_baseline_path(tmp_path, capsys):
+    write_module(tmp_path, CLEAN_SOURCE)
+    assert main(["--write-baseline", str(tmp_path)]) == EXIT_USAGE
+
+
+def test_corrupt_baseline_is_usage_error(tmp_path, capsys):
+    write_module(tmp_path, CLEAN_SOURCE)
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{not json", encoding="utf-8")
+    assert main(["--baseline", str(bad), str(tmp_path)]) == EXIT_USAGE
+
+
+def test_baseline_budget_is_per_occurrence(tmp_path):
+    write_module(tmp_path, DIRTY_SOURCE)
+    from repro.analysis import lint_paths
+    findings = lint_paths([tmp_path])
+    baseline = Baseline.from_findings(findings)
+    new, baselined, stale = baseline.filter(findings)
+    assert (new, baselined, stale) == ([], len(findings), 0)
+    # Duplicate occurrences beyond the budget surface as new findings.
+    doubled = findings + findings
+    new, baselined, stale = baseline.filter(doubled)
+    assert len(new) == len(findings) and baselined == len(findings)
+
+
+def test_baseline_rejects_bad_version(tmp_path):
+    path = tmp_path / "b.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}),
+                    encoding="utf-8")
+    with pytest.raises(BaselineError):
+        Baseline.load(path)

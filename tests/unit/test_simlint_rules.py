@@ -1,0 +1,269 @@
+"""Per-rule unit tests for the simlint AST linter."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Linter, lint_paths
+from repro.analysis.simlint import collect_generator_names
+import ast
+
+
+def lint_source(tmp_path: Path, source: str, *,
+                relpath: str = "repro/sim/mod.py"):
+    """Write ``source`` under a repro-shaped tree and lint it."""
+    file = tmp_path / relpath
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([tmp_path])
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# SIM001 — dropped SimGen
+# ----------------------------------------------------------------------
+def test_sim001_discarded_generator_call(tmp_path):
+    findings = lint_source(tmp_path, """
+        def proto():
+            yield 1
+
+        def driver():
+            proto()
+            yield 2
+    """)
+    assert rules_of(findings) == ["SIM001"]
+    assert "yield from" in findings[0].message
+
+
+def test_sim001_yield_without_from(tmp_path):
+    findings = lint_source(tmp_path, """
+        def proto():
+            yield 1
+
+        def driver():
+            yield proto()
+    """)
+    assert rules_of(findings) == ["SIM001"]
+
+
+def test_sim001_correct_yield_from_is_clean(tmp_path):
+    findings = lint_source(tmp_path, """
+        def proto():
+            yield 1
+
+        def driver():
+            yield from proto()
+    """)
+    assert findings == []
+
+
+def test_sim001_receiver_hint_table(tmp_path):
+    # `wait` is ambiguous codebase-wide, but `progress.wait(...)` is known
+    # generator API via the receiver-hint table.
+    findings = lint_source(tmp_path, """
+        def driver(self):
+            self.progress.wait(request)
+            yield 1
+    """)
+    assert rules_of(findings) == ["SIM001"]
+
+
+def test_sim001_ambiguous_name_not_flagged(tmp_path):
+    # One generator def and one plain def under the same name: the
+    # two-pass collection must refuse to guess.
+    findings = lint_source(tmp_path, """
+        class A:
+            def op(self):
+                yield 1
+
+        class B:
+            def op(self):
+                return 2
+
+        def driver(b):
+            b.op()
+            yield 3
+    """)
+    assert findings == []
+
+
+def test_generator_name_collection():
+    tree = ast.parse(textwrap.dedent("""
+        def gen():
+            yield 1
+
+        def nested_only():
+            def inner():
+                yield 2
+            return inner
+
+        def plain():
+            return 3
+    """))
+    names = collect_generator_names([tree])
+    assert "gen" in names and "inner" in names
+    assert "nested_only" not in names and "plain" not in names
+
+
+# ----------------------------------------------------------------------
+# SIM002 — wall clock / ambient randomness (sim-scoped only)
+# ----------------------------------------------------------------------
+def test_sim002_time_and_random(tmp_path):
+    findings = lint_source(tmp_path, """
+        import time
+        import random
+        import numpy as np
+        from time import perf_counter
+
+        def f():
+            a = time.time()
+            b = perf_counter()
+            c = random.randint(0, 3)
+            d = np.random.default_rng()
+            return a, b, c, d
+    """)
+    assert rules_of(findings) == ["SIM002"] * 4
+
+
+def test_sim002_not_applied_outside_sim_scope(tmp_path):
+    findings = lint_source(tmp_path, """
+        import time
+
+        def f():
+            return time.time()
+    """, relpath="repro/bench/mod.py")
+    assert findings == []
+
+
+def test_sim002_pragma_suppression(tmp_path):
+    findings = lint_source(tmp_path, """
+        import time
+
+        def f():
+            bad = time.time()
+            ok = time.time()  # simlint: ignore[SIM002]
+            also_ok = time.time()  # simlint: ignore
+            return bad, ok, also_ok
+    """)
+    assert len(findings) == 1
+    assert findings[0].line == 5
+
+
+# ----------------------------------------------------------------------
+# SIM003 — float equality on timestamps
+# ----------------------------------------------------------------------
+def test_sim003_timestamp_equality(tmp_path):
+    findings = lint_source(tmp_path, """
+        def f(sim, deadline):
+            if sim.now == deadline:
+                return 1
+            if sim.now >= deadline:   # ordering is fine
+                return 2
+            if sim.finished_at is None:   # identity is fine
+                return 3
+            return 0
+    """)
+    assert rules_of(findings) == ["SIM003"]
+    assert findings[0].line == 3
+
+
+# ----------------------------------------------------------------------
+# SIM004 — unconsumed ledger
+# ----------------------------------------------------------------------
+def test_sim004_charged_but_never_consumed(tmp_path):
+    findings = lint_source(tmp_path, """
+        def driver(costs):
+            ledger = Ledger()
+            ledger.charge(costs.match_us, "match")
+            yield 1
+    """)
+    assert rules_of(findings) == ["SIM004"]
+
+
+def test_sim004_consumed_via_busy_or_call(tmp_path):
+    findings = lint_source(tmp_path, """
+        def a(costs):
+            ledger = Ledger()
+            ledger.charge(1.0, "x")
+            yield Busy.from_ledger(ledger)
+
+        def b(costs, engine):
+            ledger = Ledger()
+            ledger.charge(1.0, "x")
+            engine.finish(ledger)
+            yield 1
+
+        def c(costs):
+            ledger = Ledger()
+            ledger.charge(1.0, "x")
+            if ledger.total > 0.0:
+                yield Busy.from_ledger(ledger)
+    """)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SIM005 / SIM006
+# ----------------------------------------------------------------------
+def test_sim005_mutable_default(tmp_path):
+    findings = lint_source(tmp_path, """
+        def f(a, b=[], c={}, d=None, e=()):
+            return a, b, c, d, e
+    """)
+    assert rules_of(findings) == ["SIM005", "SIM005"]
+
+
+def test_sim006_loop_capture(tmp_path):
+    findings = lint_source(tmp_path, """
+        def f(sim, items):
+            for item in items:
+                sim.schedule(1.0, lambda: item.fire())
+            for item in items:
+                sim.schedule(1.0, lambda _it=item: _it.fire())
+    """)
+    assert rules_of(findings) == ["SIM006"]
+    assert findings[0].line == 4
+
+
+def test_sim000_syntax_error(tmp_path):
+    findings = lint_source(tmp_path, """
+        def f(:
+    """)
+    assert rules_of(findings) == ["SIM000"]
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+def test_select_restricts_rules(tmp_path):
+    file = tmp_path / "repro" / "sim" / "mod.py"
+    file.parent.mkdir(parents=True)
+    file.write_text(textwrap.dedent("""
+        import time
+
+        def f(x=[]):
+            return time.time()
+    """), encoding="utf-8")
+    all_findings = Linter().lint_paths([tmp_path])
+    only_time = Linter(select={"SIM002"}).lint_paths([tmp_path])
+    assert sorted(rules_of(all_findings)) == ["SIM002", "SIM005"]
+    assert rules_of(only_time) == ["SIM002"]
+
+
+def test_fingerprint_survives_line_moves(tmp_path):
+    src = """
+        import time
+
+        def f():
+            return time.time()
+    """
+    before = lint_source(tmp_path, src)
+    moved = lint_source(tmp_path, "\n\n\n" + textwrap.dedent(src))
+    assert before[0].line != moved[0].line
+    assert before[0].fingerprint == moved[0].fingerprint

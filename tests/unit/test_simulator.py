@@ -38,6 +38,42 @@ def test_run_until(sim):
     assert sim.now == 50.0
 
 
+def test_run_until_advances_clock_when_queue_drains_early(sim):
+    """Bounded runs must land exactly on the bound even if events run out.
+
+    Regression: ``run(until=T)`` used to leave ``now`` at the last event's
+    time (or 0.0 with no events at all), so multi-phase drivers alternating
+    ``run(until=...)`` with ``at(...)`` scheduling observed a stale clock.
+    """
+    sim.run(until=100.0)          # empty queue: clock still reaches T
+    assert sim.now == 100.0
+
+    fired = []
+    sim.at(130.0, fired.append, 1)
+    sim.run(until=200.0)          # queue drains at 130, clock reaches 200
+    assert fired == [1]
+    assert sim.now == 200.0
+
+
+def test_run_until_never_moves_clock_backwards(sim):
+    sim.run(until=50.0)
+    assert sim.now == 50.0
+    sim.run(until=20.0)           # earlier bound: clock must not regress
+    assert sim.now == 50.0
+    sim.run(until=50.0)           # same bound twice is a no-op
+    assert sim.now == 50.0
+
+
+def test_run_until_supports_at_scheduling_between_phases(sim):
+    """The pattern the fix exists for: phase loop with absolute deadlines."""
+    fired = []
+    for phase, deadline in enumerate([10.0, 20.0, 30.0]):
+        sim.at(deadline - 1.0, fired.append, phase)
+        sim.run(until=deadline)
+    assert fired == [0, 1, 2]
+    assert sim.now == 30.0
+
+
 def test_process_returns_value(sim):
     def main():
         yield Busy(3.0)
