@@ -8,48 +8,49 @@ both builds (retransmit delays extend waits), but the ab-vs-nab factor
 survives — skew tolerance is orthogonal to loss recovery.
 """
 
-from dataclasses import replace
-
-from repro.bench.cpu_util import cpu_util_benchmark
 from repro.bench.report import Table
-from repro.config import NetParams, paper_cluster
-from repro.mpich.rank import MpiBuild
+from repro.config import NetParams
+from repro.orchestrate.points import ConfigSpec, SweepPoint
+from repro.orchestrate.runner import run_points
 
-from conftest import ITERATIONS, SEED, run_once, save_table
+from conftest import JOBS, SEED, iters, run_once, save_bench_json, \
+    save_table
 
 
 def test_ablation_packet_loss(benchmark):
     size = 16
-    iters = max(20, ITERATIONS // 2)
     loss_rates = (0.0, 0.01, 0.05, 0.10)
+    points = [
+        SweepPoint(experiment="ablation_loss", kind="cpu_util",
+                   config=ConfigSpec(
+                       "paper", size, SEED,
+                       net=NetParams(drop_prob=drop,
+                                     retransmit_timeout_us=100.0)),
+                   build=build, elements=4, max_skew_us=1000.0,
+                   iterations=iters(20, 2))
+        for drop in loss_rates
+        for build in ("nab", "ab")
+    ]
 
     def run():
-        rows = []
-        for drop in loss_rates:
-            cfg = replace(paper_cluster(size, seed=SEED),
-                          net=NetParams(drop_prob=drop,
-                                        retransmit_timeout_us=100.0))
-            nab = cpu_util_benchmark(cfg, MpiBuild.DEFAULT, elements=4,
-                                     max_skew_us=1000.0, iterations=iters)
-            ab = cpu_util_benchmark(cfg, MpiBuild.AB, elements=4,
-                                    max_skew_us=1000.0, iterations=iters)
-            dropped = (nab.signals, ab.signals)
-            rows.append((drop, nab.avg_util_us, ab.avg_util_us))
-        return rows
+        return run_points(points, jobs=JOBS)
 
-    rows = run_once(benchmark, run)
+    results = run_once(benchmark, run)
+    save_bench_json("ablation_loss", results)
+    nab_utils = [r.metrics["avg_util_us"] for r in results[0::2]]
+    ab_utils = [r.metrics["avg_util_us"] for r in results[1::2]]
     table = Table(f"Ablation: fabric packet loss ({size} nodes, 4 elements, "
-                  "skew 1000us)", "drop_prob", [r[0] for r in rows],
+                  "skew 1000us)", "drop_prob", list(loss_rates),
                   value_fmt="{:.2f}")
-    table.add_series("nab util", [r[1] for r in rows])
-    table.add_series("ab util", [r[2] for r in rows])
-    table.add_series("factor", [r[1] / r[2] for r in rows])
+    table.add_series("nab util", nab_utils)
+    table.add_series("ab util", ab_utils)
+    table.add_series("factor", [n / a for n, a in zip(nab_utils, ab_utils)])
     save_table("ablation_loss", table.render())
     print()
     print(table.render())
 
-    factors = [r[1] / r[2] for r in rows]
+    factors = [n / a for n, a in zip(nab_utils, ab_utils)]
     # the ab advantage survives even 10% loss
     assert all(f > 2.0 for f in factors)
     # loss costs both builds something
-    assert rows[-1][1] > rows[0][1]
+    assert nab_utils[-1] > nab_utils[0]

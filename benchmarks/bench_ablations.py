@@ -4,15 +4,20 @@ and the eager-limit fallback."""
 
 from repro.experiments import ablations
 
-from conftest import ITERATIONS, SEED, run_once, save_table
+from conftest import JOBS, SEED, iters, run_once, save_bench_json, \
+    save_table
 
 
 def test_ablation_exit_delay(benchmark):
+    points = []
+
     def run():
-        return ablations.ablate_exit_delay(iterations=ITERATIONS, seed=SEED)
+        return ablations.ablate_exit_delay(iterations=iters(60), seed=SEED,
+                                           jobs=JOBS, collect=points)
 
     table = run_once(benchmark, run)
     save_table("ablation_exit_delay", table.render())
+    save_bench_json("ablation_exit_delay", points)
     print()
     print(table.render())
     signals = table._find("signals@noskew").values
@@ -21,11 +26,15 @@ def test_ablation_exit_delay(benchmark):
 
 
 def test_ablation_signal_cost(benchmark):
+    points = []
+
     def run():
-        return ablations.ablate_signal_cost(iterations=ITERATIONS, seed=SEED)
+        return ablations.ablate_signal_cost(iterations=iters(60), seed=SEED,
+                                            jobs=JOBS, collect=points)
 
     table = run_once(benchmark, run)
     save_table("ablation_signal_cost", table.render())
+    save_bench_json("ablation_signal_cost", points)
     print()
     print(table.render())
     factors = table._find("factor").values
@@ -38,12 +47,16 @@ def test_ablation_signal_cost(benchmark):
 
 
 def test_ablation_queue_strategy(benchmark):
+    points = []
+
     def run():
-        return ablations.ablate_queue_strategy(iterations=ITERATIONS,
-                                               seed=SEED)
+        return ablations.ablate_queue_strategy(iterations=iters(60),
+                                               seed=SEED, jobs=JOBS,
+                                               collect=points)
 
     table = run_once(benchmark, run)
     save_table("ablation_queue_strategy", table.render())
+    save_bench_json("ablation_queue_strategy", points)
     print()
     print(table.render())
     skewed = table._find("util@skew1000").values
@@ -52,12 +65,16 @@ def test_ablation_queue_strategy(benchmark):
 
 
 def test_ablation_eager_limit(benchmark):
+    points = []
+
     def run():
-        return ablations.ablate_eager_limit(iterations=max(20, ITERATIONS // 2),
-                                            seed=SEED)
+        return ablations.ablate_eager_limit(iterations=iters(20, 2),
+                                            seed=SEED, jobs=JOBS,
+                                            collect=points)
 
     table = run_once(benchmark, run)
     save_table("ablation_eager_limit", table.render())
+    save_bench_json("ablation_eager_limit", points)
     print()
     print(table.render())
     factors = table._find("factor vs nab").values

@@ -11,40 +11,44 @@ Expected trade-off:
   ref. [11] pose its title question.
 """
 
-from repro.bench.cpu_util import cpu_util_benchmark
-from repro.bench.nicred import nicred_cpu_util, nicred_latency
 from repro.bench.report import Table
-from repro.config import paper_cluster
-from repro.mpich.rank import MpiBuild
+from repro.orchestrate.points import ConfigSpec, SweepPoint
+from repro.orchestrate.runner import run_points
 
-from conftest import ITERATIONS, SEED, run_once, save_table
+from conftest import JOBS, SEED, iters, run_once, save_bench_json, \
+    save_table
 
 
 def test_ext_nic_reduce(benchmark):
     size = 16
-    iters = max(20, ITERATIONS // 2)
+    element_sizes = (4, 32, 128, 512)
+    spec = ConfigSpec("paper", size, SEED)
+    points = [
+        SweepPoint(experiment="ext_nic_reduce", kind=kind, config=spec,
+                   build=build, elements=elements, max_skew_us=1000.0,
+                   iterations=iters(20, 2))
+        for elements in element_sizes
+        for build, kind in (("nab", "cpu_util"), ("ab", "cpu_util"),
+                            ("ab", "nicred_cpu_util"))
+    ] + [
+        SweepPoint(experiment="ext_nic_reduce", kind="nicred_latency",
+                   config=spec, build="ab", elements=elements,
+                   iterations=iters(20, 2))
+        for elements in (4, 512)
+    ]
 
     def run():
-        rows = {}
-        for elements in (4, 32, 128, 512):
-            cfg = paper_cluster(size, seed=SEED)
-            nab = cpu_util_benchmark(cfg, MpiBuild.DEFAULT,
-                                     elements=elements, max_skew_us=1000.0,
-                                     iterations=iters).avg_util_us
-            ab = cpu_util_benchmark(cfg, MpiBuild.AB, elements=elements,
-                                    max_skew_us=1000.0,
-                                    iterations=iters).avg_util_us
-            nic = nicred_cpu_util(cfg, elements=elements, max_skew_us=1000.0,
-                                  iterations=iters)
-            rows[elements] = (nab, ab, nic)
-        lat = {}
-        for elements in (4, 512):
-            cfg = paper_cluster(size, seed=SEED)
-            lat[elements] = nicred_latency(cfg, elements=elements,
-                                           iterations=iters)
-        return rows, lat
+        return run_points(points, jobs=JOBS)
 
-    rows, lat = run_once(benchmark, run)
+    results = run_once(benchmark, run)
+    save_bench_json("ext_nic_reduce", results)
+    cpu = results[:-2]
+    rows = {e: (cpu[i * 3].metrics["avg_util_us"],
+                cpu[i * 3 + 1].metrics["avg_util_us"],
+                cpu[i * 3 + 2].metrics["avg_util_us"])
+            for i, e in enumerate(element_sizes)}
+    lat = {4: results[-2].metrics["avg_latency_us"],
+           512: results[-1].metrics["avg_latency_us"]}
     table = Table(f"Extension: host CPU utilization under 1000us skew "
                   f"({size} nodes) — nab vs host-ab vs NIC-based",
                   "elements", sorted(rows))

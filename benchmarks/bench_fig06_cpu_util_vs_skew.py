@@ -7,17 +7,18 @@ Paper headline: ab wins everywhere; factor up to 5.1 at 4 elements and
 
 from repro.experiments import fig6
 
-from conftest import ITERATIONS, SEED, run_once, save_table
+from conftest import JOBS, SEED, iters, run_once, save_bench_json, save_table
 
 
 def test_fig6_cpu_util_vs_skew(benchmark):
     def run():
-        return fig6.run(iterations=ITERATIONS, seed=SEED,
+        return fig6.run(iterations=iters(40), seed=SEED, jobs=JOBS,
                         skews=(0.0, 250.0, 500.0, 750.0, 1000.0))
 
     out = run_once(benchmark, run)
     table = out.tables[0]
     save_table("fig06", out.render())
+    save_bench_json("fig06", out.points)
     print()
     print(out.render())
 

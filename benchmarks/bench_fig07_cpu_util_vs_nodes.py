@@ -6,16 +6,17 @@ reaching 5.1 at 32 nodes / 4 elements.
 
 from repro.experiments import fig7
 
-from conftest import ITERATIONS, SEED, run_once, save_table
+from conftest import JOBS, SEED, iters, run_once, save_bench_json, save_table
 
 
 def test_fig7_cpu_util_vs_nodes(benchmark):
     def run():
-        return fig7.run(iterations=ITERATIONS, seed=SEED)
+        return fig7.run(iterations=iters(40), seed=SEED, jobs=JOBS)
 
     out = run_once(benchmark, run)
     table = out.tables[0]
     save_table("fig07", out.render())
+    save_bench_json("fig07", out.points)
     print()
     print(out.render())
 

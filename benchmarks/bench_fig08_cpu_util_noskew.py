@@ -9,18 +9,17 @@ messages cross over at smaller node counts.
 from repro.experiments import fig8
 from repro.experiments.fig8 import crossover_size
 
-from conftest import ITERATIONS, SEED, run_once, save_table
+from conftest import JOBS, SEED, iters, run_once, save_bench_json, save_table
 
 
 def test_fig8_cpu_util_no_skew(benchmark):
-    iterations = max(60, ITERATIONS)
-
     def run():
-        return fig8.run(iterations=iterations, seed=SEED)
+        return fig8.run(iterations=iters(60), seed=SEED, jobs=JOBS)
 
     out = run_once(benchmark, run)
     table = out.tables[0]
     save_table("fig08", out.render())
+    save_bench_json("fig08", out.points)
     print()
     print(out.render())
 

@@ -7,17 +7,16 @@ nodes the ab build pays signal overhead for naturally late messages.
 
 from repro.experiments import fig9
 
-from conftest import ITERATIONS, SEED, run_once, save_table
+from conftest import JOBS, SEED, iters, run_once, save_bench_json, save_table
 
 
 def test_fig9_latency_vs_nodes(benchmark):
-    iterations = max(60, ITERATIONS)
-
     def run():
-        return fig9.run(iterations=iterations, seed=SEED)
+        return fig9.run(iterations=iters(60), seed=SEED, jobs=JOBS)
 
     out = run_once(benchmark, run)
     save_table("fig09", out.render())
+    save_bench_json("fig09", out.points)
     print()
     print(out.render())
 

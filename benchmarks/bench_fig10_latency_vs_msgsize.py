@@ -8,17 +8,18 @@ import numpy as np
 
 from repro.experiments import fig10
 
-from conftest import ITERATIONS, SEED, run_once, save_table
+from conftest import JOBS, SEED, iters, run_once, save_bench_json, save_table
 
 
 def test_fig10_latency_vs_message_size(benchmark):
     def run():
-        return fig10.run(iterations=max(50, ITERATIONS), seed=SEED,
+        return fig10.run(iterations=iters(50), seed=SEED, jobs=JOBS,
                          element_sizes=(1, 16, 32, 64, 96, 128))
 
     out = run_once(benchmark, run)
     table = out.tables[0]
     save_table("fig10", out.render())
+    save_bench_json("fig10", out.points)
     print()
     print(out.render())
 

@@ -4,17 +4,16 @@ the factor of improvement keeps growing with system size — checked out to
 
 from repro.experiments import scale
 
-from conftest import ITERATIONS, SEED, run_once, save_table
+from conftest import JOBS, SEED, iters, run_once, save_bench_json, save_table
 
 
 def test_scale_extrapolation(benchmark):
-    iters = max(15, ITERATIONS // 2)
-
     def run():
-        return scale.run(iterations=iters, seed=SEED)
+        return scale.run(iterations=iters(15, 2), seed=SEED, jobs=JOBS)
 
     out = run_once(benchmark, run)
     save_table("scale", out.render())
+    save_bench_json("scale", out.points)
     print()
     print(out.render())
 

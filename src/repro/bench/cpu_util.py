@@ -66,6 +66,10 @@ class CpuUtilResult:
     checked_reductions: int
     #: Dispersion summary over the per-iteration cluster means.
     summary: Optional[SampleSummary] = None
+    #: Simulator work counters for the run (events popped / driver ops),
+    #: the denominator of the orchestrator's events-per-second metric.
+    events: int = 0
+    ops: int = 0
 
     def __str__(self) -> str:
         return (f"cpu-util[{self.build.value}] n={self.size} "
@@ -125,6 +129,7 @@ def cpu_util_benchmark(config: ClusterConfig, build: MpiBuild, *,
     paper_matrix = np.array([r[0] for r in result.results])   # (size, iters)
     direct_matrix = np.array([r[1] for r in result.results])
     signals = result.cluster.total_signals()
+    counters = result.sim_counters()
     return CpuUtilResult(
         build=build,
         size=size,
@@ -137,4 +142,6 @@ def cpu_util_benchmark(config: ClusterConfig, build: MpiBuild, *,
         signals=signals,
         checked_reductions=check_counts[0],
         summary=summarize(paper_matrix.mean(axis=0)),
+        events=counters["events"],
+        ops=counters["ops"],
     )

@@ -49,6 +49,10 @@ class LatencyResult:
     signals: int
     #: Dispersion summary over the per-iteration latency samples.
     summary: "SampleSummary" = None
+    #: Simulator work counters for the measured run (ping-pong calibration
+    #: excluded) — see CpuUtilResult.events.
+    events: int = 0
+    ops: int = 0
 
     def __str__(self) -> str:
         return (f"latency[{self.build.value}] n={self.size} "
@@ -119,6 +123,7 @@ def latency_benchmark(config: ClusterConfig, build: MpiBuild, *,
 
     out = run_program(config, program, build=build, tracer=tracer)
     samples = np.asarray(out.results[last], dtype=np.float64)
+    counters = out.sim_counters()
     return LatencyResult(
         build=build,
         size=size,
@@ -131,4 +136,6 @@ def latency_benchmark(config: ClusterConfig, build: MpiBuild, *,
         samples=samples,
         signals=out.cluster.total_signals(),
         summary=summarize(samples),
+        events=counters["events"],
+        ops=counters["ops"],
     )

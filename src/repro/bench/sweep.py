@@ -2,134 +2,171 @@
 
 Every paper figure is a sweep of the CPU-utilization or latency benchmark
 over one axis (skew, node count, message size) with two builds and one or
-more message sizes.  This module runs those grids and returns
-:class:`~repro.bench.report.Table` objects with both the raw series and the
-factor-of-improvement (nab / ab) rows the paper plots.
+more message sizes.  Each grid cell is one independent, bit-deterministic
+simulator run, so the grids are built as
+:class:`~repro.orchestrate.points.SweepPoint` lists and executed through
+:func:`~repro.orchestrate.runner.run_points` — serially for ``jobs=1``,
+fanned out over worker processes otherwise, with identical metrics either
+way.  The results come back as :class:`~repro.bench.report.Table` objects
+with both the raw series and the factor-of-improvement (nab / ab) rows
+the paper plots, plus the per-point results that feed ``BENCH_*.json``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from ..config import ClusterConfig
-from ..mpich.rank import MpiBuild
-from .cpu_util import CpuUtilResult, cpu_util_benchmark
-from .latency import LatencyResult, latency_benchmark
+from ..orchestrate.points import ConfigSpec, PointResult, SweepPoint
+from ..orchestrate.runner import run_points
 from .report import Table
 
-ConfigFactory = Callable[[int], ClusterConfig]
+SpecFactory = Callable[[int], ConfigSpec]
+
+BUILD_TAGS = ("nab", "ab")
 
 
-def cpu_util_vs_skew(config: ClusterConfig, *, skews: Sequence[float],
+@dataclass
+class SweepRun:
+    """One executed grid: the rendered table, the raw per-cell benchmark
+    results keyed like before, and the orchestrator point results."""
+
+    table: Table
+    raw: dict = field(default_factory=dict)
+    points: list[PointResult] = field(default_factory=list)
+
+    def __iter__(self):
+        # Legacy unpacking: ``table, raw = sweep(...)`` still works.
+        yield self.table
+        yield self.raw
+
+
+def _run_grid(points: list[SweepPoint], *, jobs: int,
+              progress) -> list[PointResult]:
+    return run_points(points, jobs=jobs, progress=progress)
+
+
+def cpu_util_vs_skew(spec: ConfigSpec, *, skews: Sequence[float],
                      element_sizes: Sequence[int], iterations: int = 100,
-                     warmup: int = 3,
+                     warmup: int = 3, jobs: int = 1,
+                     experiment: str = "fig6",
                      progress: Optional[Callable[[str], None]] = None
-                     ) -> tuple[Table, dict]:
+                     ) -> SweepRun:
     """Fig. 6 grid: fixed cluster, varying max skew and message size."""
     table = Table(
-        f"Average CPU utilization vs. max skew ({config.size} nodes)",
+        f"Average CPU utilization vs. max skew ({spec.size} nodes)",
         "skew_us", skews)
-    raw: dict[tuple[str, int], list[CpuUtilResult]] = {}
-    for build in (MpiBuild.DEFAULT, MpiBuild.AB):
-        tag = "nab" if build is MpiBuild.DEFAULT else "ab"
+    points = [
+        SweepPoint(experiment=experiment, kind="cpu_util", config=spec,
+                   build=tag, elements=elements, max_skew_us=skew,
+                   iterations=iterations, warmup=warmup)
+        for tag in BUILD_TAGS
+        for elements in element_sizes
+        for skew in skews
+    ]
+    results = _run_grid(points, jobs=jobs, progress=progress)
+    raw: dict[tuple[str, int], list] = {}
+    cursor = iter(results)
+    for tag in BUILD_TAGS:
         for elements in element_sizes:
-            results = []
-            for skew in skews:
-                r = cpu_util_benchmark(config, build, elements=elements,
-                                       max_skew_us=skew,
-                                       iterations=iterations, warmup=warmup)
-                results.append(r)
-                if progress:
-                    progress(str(r))
-            raw[(tag, elements)] = results
+            cell = [next(cursor) for _ in skews]
+            raw[(tag, elements)] = [r.result for r in cell]
             table.add_series(f"{tag}-{elements}",
-                             [r.avg_util_us for r in results])
+                             [r.metrics["avg_util_us"] for r in cell])
     for elements in element_sizes:
         table.factor_series(f"factor-{elements}", f"nab-{elements}",
                             f"ab-{elements}")
-    return table, raw
+    return SweepRun(table, raw, results)
 
 
-def cpu_util_vs_nodes(config_for_size: ConfigFactory, *,
+def cpu_util_vs_nodes(spec_for_size: SpecFactory, *,
                       sizes: Sequence[int], element_sizes: Sequence[int],
                       max_skew_us: float, iterations: int = 100,
-                      warmup: int = 3,
+                      warmup: int = 3, jobs: int = 1,
+                      experiment: str = "fig7",
                       progress: Optional[Callable[[str], None]] = None
-                      ) -> tuple[Table, dict]:
+                      ) -> SweepRun:
     """Fig. 7 / Fig. 8 grid: varying node count at a fixed skew."""
     table = Table(
         f"Average CPU utilization vs. nodes (max skew {max_skew_us:.0f}us)",
         "nodes", sizes)
-    raw: dict[tuple[str, int], list[CpuUtilResult]] = {}
-    for build in (MpiBuild.DEFAULT, MpiBuild.AB):
-        tag = "nab" if build is MpiBuild.DEFAULT else "ab"
+    points = [
+        SweepPoint(experiment=experiment, kind="cpu_util",
+                   config=spec_for_size(size), build=tag, elements=elements,
+                   max_skew_us=max_skew_us, iterations=iterations,
+                   warmup=warmup)
+        for tag in BUILD_TAGS
+        for elements in element_sizes
+        for size in sizes
+    ]
+    results = _run_grid(points, jobs=jobs, progress=progress)
+    raw: dict[tuple[str, int], list] = {}
+    cursor = iter(results)
+    for tag in BUILD_TAGS:
         for elements in element_sizes:
-            results = []
-            for size in sizes:
-                r = cpu_util_benchmark(config_for_size(size), build,
-                                       elements=elements,
-                                       max_skew_us=max_skew_us,
-                                       iterations=iterations, warmup=warmup)
-                results.append(r)
-                if progress:
-                    progress(str(r))
-            raw[(tag, elements)] = results
+            cell = [next(cursor) for _ in sizes]
+            raw[(tag, elements)] = [r.result for r in cell]
             table.add_series(f"{tag}-{elements}",
-                             [r.avg_util_us for r in results])
+                             [r.metrics["avg_util_us"] for r in cell])
     for elements in element_sizes:
         table.factor_series(f"factor-{elements}", f"nab-{elements}",
                             f"ab-{elements}")
-    return table, raw
+    return SweepRun(table, raw, results)
 
 
-def latency_vs_nodes(config_for_size: ConfigFactory, *,
+def latency_vs_nodes(spec_for_size: SpecFactory, *,
                      sizes: Sequence[int], elements: int = 1,
-                     iterations: int = 200, warmup: int = 3,
+                     iterations: int = 200, warmup: int = 3, jobs: int = 1,
+                     experiment: str = "fig9",
                      progress: Optional[Callable[[str], None]] = None
-                     ) -> tuple[Table, dict]:
+                     ) -> SweepRun:
     """Fig. 9 grid: reduction latency vs. node count (no injected skew)."""
     table = Table(
         f"Total reduction latency vs. nodes ({elements}-element messages)",
         "nodes", sizes)
-    raw: dict[str, list[LatencyResult]] = {}
-    for build in (MpiBuild.DEFAULT, MpiBuild.AB):
-        tag = "nab" if build is MpiBuild.DEFAULT else "ab"
-        results = []
-        for size in sizes:
-            r = latency_benchmark(config_for_size(size), build,
-                                  elements=elements, iterations=iterations,
-                                  warmup=warmup)
-            results.append(r)
-            if progress:
-                progress(str(r))
-        raw[tag] = results
-        table.add_series(tag, [r.avg_latency_us for r in results])
+    points = [
+        SweepPoint(experiment=experiment, kind="latency",
+                   config=spec_for_size(size), build=tag, elements=elements,
+                   iterations=iterations, warmup=warmup)
+        for tag in BUILD_TAGS
+        for size in sizes
+    ]
+    results = _run_grid(points, jobs=jobs, progress=progress)
+    raw: dict[str, list] = {}
+    cursor = iter(results)
+    for tag in BUILD_TAGS:
+        cell = [next(cursor) for _ in sizes]
+        raw[tag] = [r.result for r in cell]
+        table.add_series(tag, [r.metrics["avg_latency_us"] for r in cell])
     table.factor_series("ab/nab", "ab", "nab")
-    return table, raw
+    return SweepRun(table, raw, results)
 
 
-def latency_vs_message_size(config: ClusterConfig, *,
+def latency_vs_message_size(spec: ConfigSpec, *,
                             element_sizes: Sequence[int],
                             iterations: int = 200, warmup: int = 3,
+                            jobs: int = 1, experiment: str = "fig10",
                             progress: Optional[Callable[[str], None]] = None
-                            ) -> tuple[Table, dict]:
+                            ) -> SweepRun:
     """Fig. 10 grid: latency vs. message size on the full cluster."""
     table = Table(
-        f"Total reduction latency vs. message size ({config.size} nodes)",
+        f"Total reduction latency vs. message size ({spec.size} nodes)",
         "elements", element_sizes)
-    raw: dict[str, list[LatencyResult]] = {}
-    for build in (MpiBuild.DEFAULT, MpiBuild.AB):
-        tag = "nab" if build is MpiBuild.DEFAULT else "ab"
-        results = []
-        for elements in element_sizes:
-            r = latency_benchmark(config, build, elements=elements,
-                                  iterations=iterations, warmup=warmup)
-            results.append(r)
-            if progress:
-                progress(str(r))
-        raw[tag] = results
-        table.add_series(tag, [r.avg_latency_us for r in results])
+    points = [
+        SweepPoint(experiment=experiment, kind="latency", config=spec,
+                   build=tag, elements=elements, iterations=iterations,
+                   warmup=warmup)
+        for tag in BUILD_TAGS
+        for elements in element_sizes
+    ]
+    results = _run_grid(points, jobs=jobs, progress=progress)
+    raw: dict[str, list] = {}
+    cursor = iter(results)
+    for tag in BUILD_TAGS:
+        cell = [next(cursor) for _ in element_sizes]
+        raw[tag] = [r.result for r in cell]
+        table.add_series(tag, [r.metrics["avg_latency_us"] for r in cell])
     table.add_series("ab-nab gap",
                      [a.avg_latency_us - n.avg_latency_us
                       for a, n in zip(raw["ab"], raw["nab"])])
-    return table, raw
+    return SweepRun(table, raw, results)

@@ -13,7 +13,8 @@ def main(argv: list[str] | None = None) -> int:
         names = ", ".join(sorted(EXPERIMENTS))
         print("usage: python -m repro.experiments <experiment> [flags]")
         print(f"experiments: {names}, all")
-        print("common flags: --iterations N --seed N --quick")
+        print("common flags: --iterations N --seed N --quick "
+              "--jobs N --bench-json [PATH]")
         return 0
     name, rest = argv[0], argv[1:]
     if name == "all":

@@ -11,97 +11,118 @@
    (extra copy + management per message).
 4. **Eager-limit fallback**: where the ab protocol stops being used and
    the default path takes over.
+
+Every study is a grid of independent simulator runs, so each builds its
+points and executes them through the orchestrator — ``--jobs N`` applies
+here exactly as it does to the figure sweeps.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..bench.cpu_util import cpu_util_benchmark
 from ..bench.report import Table
-from ..config import AbParams, NicParams, paper_cluster
-from ..mpich.rank import MpiBuild
+from ..config import AbParams, NicParams
+from ..orchestrate.points import ConfigSpec, SweepPoint
+from ..orchestrate.runner import run_points
 from .common import (ExperimentOutput, banner, effective_iterations,
-                     make_parser, print_progress)
+                     make_parser, maybe_write_bench_json, print_progress)
+
+
+def _cpu_point(spec: ConfigSpec, build: str, *, elements: int,
+               skew: float, iterations: int,
+               experiment: str) -> SweepPoint:
+    return SweepPoint(experiment=experiment, kind="cpu_util", config=spec,
+                      build=build, elements=elements, max_skew_us=skew,
+                      iterations=iterations)
 
 
 def ablate_exit_delay(*, size: int = 32, iterations: int = 60, seed: int = 1,
-                      progress=None) -> Table:
+                      jobs: int = 1, progress=None,
+                      collect=None) -> Table:
     policies = (("none", 0.0), ("fixed", 8.0), ("log", 2.0), ("linear", 0.5))
     table = Table("Ablation: exit-delay policy (32 nodes, 4 elements)",
                   "variant", list(range(len(policies))))
-    labels, skewed, unskewed, signals = [], [], [], []
+    points = []
     for policy, coeff in policies:
-        ab = AbParams(exit_delay_policy=policy, exit_delay_coeff_us=coeff)
-        config = paper_cluster(size, seed=seed, ab=ab)
-        r1 = cpu_util_benchmark(config, MpiBuild.AB, elements=4,
-                                max_skew_us=1000.0, iterations=iterations)
-        r0 = cpu_util_benchmark(config, MpiBuild.AB, elements=4,
-                                max_skew_us=0.0, iterations=iterations)
-        labels.append(f"{policy}({coeff:g})")
-        skewed.append(r1.avg_util_us)
-        unskewed.append(r0.avg_util_us)
-        signals.append(float(r0.signals))
-        if progress:
-            progress(f"exit-delay {policy}: skewed={r1.avg_util_us:.2f}us "
-                     f"unskewed={r0.avg_util_us:.2f}us signals={r0.signals}")
+        spec = ConfigSpec("paper", size, seed,
+                          ab=AbParams(exit_delay_policy=policy,
+                                      exit_delay_coeff_us=coeff))
+        points.append(_cpu_point(spec, "ab", elements=4, skew=1000.0,
+                                 iterations=iterations,
+                                 experiment="ablation_exit_delay"))
+        points.append(_cpu_point(spec, "ab", elements=4, skew=0.0,
+                                 iterations=iterations,
+                                 experiment="ablation_exit_delay"))
+    results = run_points(points, jobs=jobs, progress=progress)
+    if collect is not None:
+        collect.extend(results)
+    skewed = [r.metrics["avg_util_us"] for r in results[0::2]]
+    unskewed = [r.metrics["avg_util_us"] for r in results[1::2]]
+    signals = [r.metrics["signals"] for r in results[1::2]]
     table.add_series("util@skew1000", skewed)
     table.add_series("util@noskew", unskewed)
     table.add_series("signals@noskew", signals)
+    labels = [f"{policy}({coeff:g})" for policy, coeff in policies]
     table.title += "  [variants: " + ", ".join(
         f"{i}={lbl}" for i, lbl in enumerate(labels)) + "]"
     return table
 
 
 def ablate_signal_cost(*, size: int = 32, iterations: int = 60, seed: int = 1,
-                       progress=None) -> Table:
+                       jobs: int = 1, progress=None,
+                       collect=None) -> Table:
     overheads = (2.0, 5.0, 10.0, 20.0)
     table = Table("Ablation: per-signal kernel overhead (32 nodes, "
                   "4 elements, skew 1000us)", "signal_us", overheads)
-    factors, ab_utils = [], []
+    points = []
     for overhead in overheads:
-        nic = NicParams(signal_overhead_us=overhead)
-        config = paper_cluster(size, seed=seed).with_nic(nic)
-        rn = cpu_util_benchmark(config, MpiBuild.DEFAULT, elements=4,
-                                max_skew_us=1000.0, iterations=iterations)
-        ra = cpu_util_benchmark(config, MpiBuild.AB, elements=4,
-                                max_skew_us=1000.0, iterations=iterations)
-        factors.append(rn.avg_util_us / ra.avg_util_us)
-        ab_utils.append(ra.avg_util_us)
-        if progress:
-            progress(f"signal={overhead}us: ab={ra.avg_util_us:.2f}us "
-                     f"factor={factors[-1]:.2f}")
+        spec = ConfigSpec("paper", size, seed,
+                          nic=NicParams(signal_overhead_us=overhead))
+        for build in ("nab", "ab"):
+            points.append(_cpu_point(spec, build, elements=4, skew=1000.0,
+                                     iterations=iterations,
+                                     experiment="ablation_signal_cost"))
+    results = run_points(points, jobs=jobs, progress=progress)
+    if collect is not None:
+        collect.extend(results)
+    nab_utils = [r.metrics["avg_util_us"] for r in results[0::2]]
+    ab_utils = [r.metrics["avg_util_us"] for r in results[1::2]]
     table.add_series("ab util", ab_utils)
-    table.add_series("factor", factors)
+    table.add_series("factor", [n / a for n, a in zip(nab_utils, ab_utils)])
     return table
 
 
 def ablate_queue_strategy(*, size: int = 32, iterations: int = 60,
-                          seed: int = 1, progress=None) -> Table:
+                          seed: int = 1, jobs: int = 1, progress=None,
+                          collect=None) -> Table:
     variants = (False, True)
     table = Table("Ablation: custom AB queue vs. reusing MPICH non-blocking "
                   "machinery (32 nodes, 128 elements)", "reuse_mpich",
                   [int(v) for v in variants])
-    utils_skew, utils_noskew = [], []
+    points = []
     for reuse in variants:
-        ab = AbParams(reuse_mpich_queues=reuse)
-        config = paper_cluster(size, seed=seed, ab=ab)
-        r1 = cpu_util_benchmark(config, MpiBuild.AB, elements=128,
-                                max_skew_us=1000.0, iterations=iterations)
-        r0 = cpu_util_benchmark(config, MpiBuild.AB, elements=128,
-                                max_skew_us=0.0, iterations=iterations)
-        utils_skew.append(r1.avg_util_us)
-        utils_noskew.append(r0.avg_util_us)
-        if progress:
-            progress(f"reuse={reuse}: skewed={r1.avg_util_us:.2f}us "
-                     f"unskewed={r0.avg_util_us:.2f}us")
-    table.add_series("util@skew1000", utils_skew)
-    table.add_series("util@noskew", utils_noskew)
+        spec = ConfigSpec("paper", size, seed,
+                          ab=AbParams(reuse_mpich_queues=reuse))
+        points.append(_cpu_point(spec, "ab", elements=128, skew=1000.0,
+                                 iterations=iterations,
+                                 experiment="ablation_queue_strategy"))
+        points.append(_cpu_point(spec, "ab", elements=128, skew=0.0,
+                                 iterations=iterations,
+                                 experiment="ablation_queue_strategy"))
+    results = run_points(points, jobs=jobs, progress=progress)
+    if collect is not None:
+        collect.extend(results)
+    table.add_series("util@skew1000",
+                     [r.metrics["avg_util_us"] for r in results[0::2]])
+    table.add_series("util@noskew",
+                     [r.metrics["avg_util_us"] for r in results[1::2]])
     return table
 
 
 def ablate_eager_limit(*, size: int = 16, iterations: int = 40, seed: int = 1,
-                       progress=None) -> Table:
+                       jobs: int = 1, progress=None,
+                       collect=None) -> Table:
     """Message sizes straddling a lowered AB eager limit: beyond it the
     protocol must fall back to the default path and the ab advantage
     disappears (but correctness holds)."""
@@ -109,42 +130,49 @@ def ablate_eager_limit(*, size: int = 16, iterations: int = 40, seed: int = 1,
     element_sizes = (16, 48, 64, 80, 128)  # 128B .. 1KiB around the limit
     table = Table(f"Ablation: AB eager-limit fallback (limit={limit_bytes}B, "
                   f"{size} nodes, skew 1000us)", "elements", element_sizes)
-    ab = AbParams(eager_limit_bytes=limit_bytes)
-    config = paper_cluster(size, seed=seed, ab=ab)
-    baseline = paper_cluster(size, seed=seed)
-    utils, utils_nolimit, factors = [], [], []
+    limited = ConfigSpec("paper", size, seed,
+                         ab=AbParams(eager_limit_bytes=limit_bytes))
+    baseline = ConfigSpec("paper", size, seed)
+    points = []
     for elements in element_sizes:
-        r_lim = cpu_util_benchmark(config, MpiBuild.AB, elements=elements,
-                                   max_skew_us=1000.0, iterations=iterations)
-        r_free = cpu_util_benchmark(baseline, MpiBuild.AB, elements=elements,
-                                    max_skew_us=1000.0, iterations=iterations)
-        r_nab = cpu_util_benchmark(baseline, MpiBuild.DEFAULT,
-                                   elements=elements, max_skew_us=1000.0,
-                                   iterations=iterations)
-        utils.append(r_lim.avg_util_us)
-        utils_nolimit.append(r_free.avg_util_us)
-        factors.append(r_nab.avg_util_us / r_lim.avg_util_us)
-        if progress:
-            progress(f"elements={elements}: limited={r_lim.avg_util_us:.1f}us "
-                     f"unlimited={r_free.avg_util_us:.1f}us "
-                     f"factor-vs-nab={factors[-1]:.2f}")
+        points.append(_cpu_point(limited, "ab", elements=elements,
+                                 skew=1000.0, iterations=iterations,
+                                 experiment="ablation_eager_limit"))
+        points.append(_cpu_point(baseline, "ab", elements=elements,
+                                 skew=1000.0, iterations=iterations,
+                                 experiment="ablation_eager_limit"))
+        points.append(_cpu_point(baseline, "nab", elements=elements,
+                                 skew=1000.0, iterations=iterations,
+                                 experiment="ablation_eager_limit"))
+    results = run_points(points, jobs=jobs, progress=progress)
+    if collect is not None:
+        collect.extend(results)
+    utils = [r.metrics["avg_util_us"] for r in results[0::3]]
+    utils_nolimit = [r.metrics["avg_util_us"] for r in results[1::3]]
+    nab_utils = [r.metrics["avg_util_us"] for r in results[2::3]]
     table.add_series("ab util (limit 512B)", utils)
     table.add_series("ab util (limit 16K)", utils_nolimit)
-    table.add_series("factor vs nab", factors)
+    table.add_series("factor vs nab",
+                     [n / lim for n, lim in zip(nab_utils, utils)])
     return table
 
 
-def run(*, iterations: int = 60, seed: int = 1,
+def run(*, iterations: int = 60, seed: int = 1, jobs: int = 1,
         progress=None) -> ExperimentOutput:
     out = ExperimentOutput("ablations")
     out.tables.append(ablate_exit_delay(iterations=iterations, seed=seed,
-                                        progress=progress))
+                                        jobs=jobs, progress=progress,
+                                        collect=out.points))
     out.tables.append(ablate_signal_cost(iterations=iterations, seed=seed,
-                                         progress=progress))
+                                         jobs=jobs, progress=progress,
+                                         collect=out.points))
     out.tables.append(ablate_queue_strategy(iterations=iterations, seed=seed,
-                                            progress=progress))
+                                            jobs=jobs, progress=progress,
+                                            collect=out.points))
     out.tables.append(ablate_eager_limit(iterations=max(20, iterations // 2),
-                                         seed=seed, progress=progress))
+                                         seed=seed, jobs=jobs,
+                                         progress=progress,
+                                         collect=out.points))
     out.notes.append("exit-delay variants trade signal count against "
                      "lingering CPU; the shipped default is 'none'")
     out.notes.append("past ~384B the 512B-limited build falls back to the "
@@ -157,8 +185,9 @@ def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
     args = parser.parse_args(argv)
     banner("Ablations: design-choice studies")
     out = run(iterations=effective_iterations(args), seed=args.seed,
-              progress=print_progress)
+              jobs=args.jobs, progress=print_progress)
     print(out.render())
+    maybe_write_bench_json(out, args)
     return out
 
 

@@ -9,10 +9,13 @@ Every experiment module exposes ``run(**kwargs) -> ExperimentOutput`` plus a
 from __future__ import annotations
 
 import argparse
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..bench.report import Table
+from ..orchestrate.benchjson import write_bench_json
+from ..orchestrate.points import PointResult
 
 #: The paper's node counts (Figs. 7-9) and message sizes (Figs. 6-8).
 PAPER_SIZES = (2, 4, 8, 16, 32)
@@ -30,6 +33,9 @@ class ExperimentOutput:
     name: str
     tables: list[Table] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Orchestrator point results (key, metrics, wall time) for the sweeps
+    #: behind the tables — the payload of BENCH_<name>.json.
+    points: list[PointResult] = field(default_factory=list)
 
     def render(self) -> str:
         parts = []
@@ -53,6 +59,16 @@ def make_parser(description: str, *, default_iterations: int) -> argparse.Argume
                         help="master RNG seed (default 1)")
     parser.add_argument("--quick", action="store_true",
                         help="cut iterations ~4x for a fast smoke run")
+    parser.add_argument("--jobs", type=int,
+                        default=int(os.environ.get("REPRO_JOBS", "1")),
+                        help="worker processes for the sweep (default "
+                             "$REPRO_JOBS or 1; metrics are bit-identical "
+                             "for any value)")
+    parser.add_argument("--bench-json", nargs="?", const="auto",
+                        default=None, metavar="PATH",
+                        help="write the sweep's BENCH_<name>.json perf "
+                             "record (default path BENCH_<name>.json in "
+                             "the current directory)")
     return parser
 
 
@@ -65,6 +81,21 @@ def effective_iterations(args: argparse.Namespace) -> int:
 
 def print_progress(line: str) -> None:
     print(f"    {line}", flush=True)
+
+
+def maybe_write_bench_json(out: ExperimentOutput,
+                           args: argparse.Namespace) -> None:
+    """Honour --bench-json: record the sweep for the perf-regression gate
+    (``python -m repro.orchestrate.compare OLD NEW``)."""
+    if getattr(args, "bench_json", None) is None:
+        return
+    if not out.points:
+        print(f"(no orchestrated points in {out.name}; BENCH json skipped)")
+        return
+    path = None if args.bench_json == "auto" else args.bench_json
+    written = write_bench_json(out.name, out.points, path=path,
+                               jobs=getattr(args, "jobs", 1))
+    print(f"wrote {written}")
 
 
 def banner(title: str) -> None:

@@ -14,40 +14,40 @@ from typing import Optional
 import numpy as np
 
 from ..apps import cg_pipelined, compare_builds, conjugate_gradient
-from ..bench.cpu_util import cpu_util_benchmark
-from ..bench.nicred import nicred_cpu_util, nicred_latency
+from ..bench.nicred import nicred_latency
 from ..bench.report import Table
 from ..config import paper_cluster
 from ..mpich.rank import MpiBuild
+from ..orchestrate.points import ConfigSpec, SweepPoint
+from ..orchestrate.runner import run_points
 from ..runtime.program import run_program
 from .common import (ExperimentOutput, banner, effective_iterations,
-                     make_parser, print_progress)
+                     make_parser, maybe_write_bench_json, print_progress)
 
 
 def run_nicred(*, size: int = 16, iterations: int = 30, seed: int = 1,
-               progress=None) -> Table:
+               jobs: int = 1, progress=None, collect=None) -> Table:
     element_sizes = (4, 32, 128, 512)
     table = Table(f"NIC-based vs host-ab vs nab: CPU util @1000us skew "
                   f"({size} nodes)", "elements", element_sizes)
-    nabs, abs_, nics = [], [], []
+    spec = ConfigSpec("paper", size, seed)
+    points = []
     for elements in element_sizes:
-        cfg = paper_cluster(size, seed=seed)
-        nabs.append(cpu_util_benchmark(cfg, MpiBuild.DEFAULT,
-                                       elements=elements,
-                                       max_skew_us=1000.0,
-                                       iterations=iterations).avg_util_us)
-        abs_.append(cpu_util_benchmark(cfg, MpiBuild.AB, elements=elements,
-                                       max_skew_us=1000.0,
-                                       iterations=iterations).avg_util_us)
-        nics.append(nicred_cpu_util(cfg, elements=elements,
-                                    max_skew_us=1000.0,
-                                    iterations=iterations))
-        if progress:
-            progress(f"elements={elements}: nab={nabs[-1]:.1f} "
-                     f"ab={abs_[-1]:.1f} nic={nics[-1]:.1f}")
-    table.add_series("nab", nabs)
-    table.add_series("host-ab", abs_)
-    table.add_series("nic-based", nics)
+        for build, kind in (("nab", "cpu_util"), ("ab", "cpu_util"),
+                            ("ab", "nicred_cpu_util")):
+            points.append(SweepPoint(
+                experiment="ext_nicred", kind=kind, config=spec,
+                build=build, elements=elements, max_skew_us=1000.0,
+                iterations=iterations))
+    results = run_points(points, jobs=jobs, progress=progress)
+    if collect is not None:
+        collect.extend(results)
+    table.add_series("nab",
+                     [r.metrics["avg_util_us"] for r in results[0::3]])
+    table.add_series("host-ab",
+                     [r.metrics["avg_util_us"] for r in results[1::3]])
+    table.add_series("nic-based",
+                     [r.metrics["avg_util_us"] for r in results[2::3]])
     return table
 
 
@@ -100,11 +100,12 @@ def run_pipelined_cg(*, size: int = 16, iterations: int = 12, seed: int = 1,
     return line
 
 
-def run(*, iterations: int = 30, seed: int = 1,
+def run(*, iterations: int = 30, seed: int = 1, jobs: int = 1,
         progress=None) -> ExperimentOutput:
     out = ExperimentOutput("extensions")
     out.tables.append(run_nicred(iterations=iterations, seed=seed,
-                                 progress=progress))
+                                 jobs=jobs, progress=progress,
+                                 collect=out.points))
     out.tables.append(run_apps(seed=seed, progress=progress))
     out.notes.append(run_pipelined_cg(seed=seed, progress=progress))
     cfg = paper_cluster(16, seed=seed)
@@ -122,8 +123,9 @@ def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
     banner("Extensions: NIC-based reduction, application kernels, "
            "pipelined CG")
     out = run(iterations=effective_iterations(args), seed=args.seed,
-              progress=print_progress)
+              jobs=args.jobs, progress=print_progress)
     print(out.render())
+    maybe_write_bench_json(out, args)
     return out
 
 

@@ -13,20 +13,22 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..bench.sweep import latency_vs_message_size
-from ..config import paper_cluster
+from ..orchestrate.points import ConfigSpec
 from .common import (ExperimentOutput, PAPER_MSG_SIZES, banner,
-                     effective_iterations, make_parser, print_progress)
+                     effective_iterations, make_parser,
+                     maybe_write_bench_json, print_progress)
 
 
 def run(*, size: int = 32, element_sizes: Sequence[int] = PAPER_MSG_SIZES,
-        iterations: int = 120, seed: int = 1,
+        iterations: int = 120, seed: int = 1, jobs: int = 1,
         progress=None) -> ExperimentOutput:
-    config = paper_cluster(size, seed=seed)
-    table, raw = latency_vs_message_size(config, element_sizes=element_sizes,
-                                         iterations=iterations,
-                                         progress=progress)
+    sweep = latency_vs_message_size(ConfigSpec("paper", size, seed),
+                                    element_sizes=element_sizes,
+                                    iterations=iterations, jobs=jobs,
+                                    experiment="fig10", progress=progress)
+    table = sweep.table
     table.title = "Fig 10: " + table.title
-    out = ExperimentOutput("fig10", [table])
+    out = ExperimentOutput("fig10", [table], points=sweep.points)
 
     gaps = np.asarray(table._find("ab-nab gap").values)
     out.notes.append(
@@ -46,8 +48,9 @@ def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
     args = parser.parse_args(argv)
     banner("Fig. 10: reduction latency vs. message size (32 nodes)")
     out = run(iterations=effective_iterations(args), seed=args.seed,
-              progress=print_progress)
+              jobs=args.jobs, progress=print_progress)
     print(out.render())
+    maybe_write_bench_json(out, args)
     return out
 
 

@@ -11,20 +11,22 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..bench.sweep import cpu_util_vs_skew
-from ..config import paper_cluster
+from ..orchestrate.points import ConfigSpec
 from .common import (ExperimentOutput, PAPER_ELEMENTS, PAPER_SKEWS, banner,
-                     effective_iterations, make_parser, print_progress)
+                     effective_iterations, make_parser,
+                     maybe_write_bench_json, print_progress)
 
 
 def run(*, size: int = 32, skews: Sequence[float] = PAPER_SKEWS,
         element_sizes: Sequence[int] = PAPER_ELEMENTS,
-        iterations: int = 100, seed: int = 1,
+        iterations: int = 100, seed: int = 1, jobs: int = 1,
         progress=None) -> ExperimentOutput:
-    config = paper_cluster(size, seed=seed)
-    table, raw = cpu_util_vs_skew(config, skews=skews,
-                                  element_sizes=element_sizes,
-                                  iterations=iterations, progress=progress)
-    out = ExperimentOutput("fig6", [table])
+    sweep = cpu_util_vs_skew(ConfigSpec("paper", size, seed), skews=skews,
+                             element_sizes=element_sizes,
+                             iterations=iterations, jobs=jobs,
+                             experiment="fig6", progress=progress)
+    table = sweep.table
+    out = ExperimentOutput("fig6", [table], points=sweep.points)
 
     # Headline checks mirrored from the paper's text.
     factors = {
@@ -52,8 +54,9 @@ def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
     args = parser.parse_args(argv)
     banner("Fig. 6: CPU utilization vs. process skew (32 nodes)")
     out = run(iterations=effective_iterations(args), seed=args.seed,
-              progress=print_progress)
+              jobs=args.jobs, progress=print_progress)
     print(out.render())
+    maybe_write_bench_json(out, args)
     return out
 
 

@@ -11,20 +11,23 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..bench.sweep import cpu_util_vs_nodes
-from ..config import paper_cluster
+from ..orchestrate.points import ConfigSpec
 from .common import (ExperimentOutput, PAPER_ELEMENTS, PAPER_SIZES, banner,
-                     effective_iterations, make_parser, print_progress)
+                     effective_iterations, make_parser,
+                     maybe_write_bench_json, print_progress)
 
 
 def run(*, sizes: Sequence[int] = PAPER_SIZES,
         element_sizes: Sequence[int] = PAPER_ELEMENTS,
         max_skew_us: float = 1000.0, iterations: int = 100, seed: int = 1,
-        progress=None) -> ExperimentOutput:
-    table, raw = cpu_util_vs_nodes(
-        lambda n: paper_cluster(n, seed=seed),
+        jobs: int = 1, progress=None) -> ExperimentOutput:
+    sweep = cpu_util_vs_nodes(
+        lambda n: ConfigSpec("paper", n, seed),
         sizes=sizes, element_sizes=element_sizes, max_skew_us=max_skew_us,
-        iterations=iterations, progress=progress)
-    out = ExperimentOutput("fig7", [table])
+        iterations=iterations, jobs=jobs, experiment="fig7",
+        progress=progress)
+    table = sweep.table
+    out = ExperimentOutput("fig7", [table], points=sweep.points)
 
     smallest = min(element_sizes)
     factors = table._find(f"factor-{smallest}").values
@@ -45,8 +48,9 @@ def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
     args = parser.parse_args(argv)
     banner("Fig. 7: CPU utilization vs. nodes (max skew 1000 us)")
     out = run(iterations=effective_iterations(args), seed=args.seed,
-              progress=print_progress)
+              jobs=args.jobs, progress=print_progress)
     print(out.render())
+    maybe_write_bench_json(out, args)
     return out
 
 

@@ -13,9 +13,10 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..bench.sweep import cpu_util_vs_nodes
-from ..config import paper_cluster
+from ..orchestrate.points import ConfigSpec
 from .common import (ExperimentOutput, PAPER_ELEMENTS, PAPER_SIZES, banner,
-                     effective_iterations, make_parser, print_progress)
+                     effective_iterations, make_parser,
+                     maybe_write_bench_json, print_progress)
 
 
 def crossover_size(sizes: Sequence[int], factors: Sequence[float]) -> Optional[int]:
@@ -28,13 +29,15 @@ def crossover_size(sizes: Sequence[int], factors: Sequence[float]) -> Optional[i
 
 def run(*, sizes: Sequence[int] = PAPER_SIZES,
         element_sizes: Sequence[int] = PAPER_ELEMENTS,
-        iterations: int = 150, seed: int = 1,
+        iterations: int = 150, seed: int = 1, jobs: int = 1,
         progress=None) -> ExperimentOutput:
-    table, raw = cpu_util_vs_nodes(
-        lambda n: paper_cluster(n, seed=seed),
+    sweep = cpu_util_vs_nodes(
+        lambda n: ConfigSpec("paper", n, seed),
         sizes=sizes, element_sizes=element_sizes, max_skew_us=0.0,
-        iterations=iterations, progress=progress)
-    out = ExperimentOutput("fig8", [table])
+        iterations=iterations, jobs=jobs, experiment="fig8",
+        progress=progress)
+    table = sweep.table
+    out = ExperimentOutput("fig8", [table], points=sweep.points)
 
     largest = max(element_sizes)
     f_large = table._find(f"factor-{largest}").values
@@ -60,8 +63,9 @@ def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
     args = parser.parse_args(argv)
     banner("Fig. 8: CPU utilization vs. nodes (no injected skew)")
     out = run(iterations=effective_iterations(args), seed=args.seed,
-              progress=print_progress)
+              jobs=args.jobs, progress=print_progress)
     print(out.render())
+    maybe_write_bench_json(out, args)
     return out
 
 

@@ -13,9 +13,9 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..bench.sweep import latency_vs_nodes
-from ..config import homogeneous_cluster, paper_cluster
+from ..orchestrate.points import ConfigSpec
 from .common import (ExperimentOutput, banner, effective_iterations,
-                     make_parser, print_progress)
+                     make_parser, maybe_write_bench_json, print_progress)
 
 HETERO_SIZES = (2, 4, 8, 16, 32)
 HOMO_SIZES = (2, 4, 8, 16)
@@ -23,19 +23,22 @@ HOMO_SIZES = (2, 4, 8, 16)
 
 def run(*, hetero_sizes: Sequence[int] = HETERO_SIZES,
         homo_sizes: Sequence[int] = HOMO_SIZES,
-        iterations: int = 150, seed: int = 1,
+        iterations: int = 150, seed: int = 1, jobs: int = 1,
         progress=None) -> ExperimentOutput:
-    table_a, raw_a = latency_vs_nodes(
-        lambda n: paper_cluster(n, seed=seed),
-        sizes=hetero_sizes, elements=1, iterations=iterations,
-        progress=progress)
+    sweep_a = latency_vs_nodes(
+        lambda n: ConfigSpec("paper", n, seed),
+        sizes=hetero_sizes, elements=1, iterations=iterations, jobs=jobs,
+        experiment="fig9a", progress=progress)
+    table_a = sweep_a.table
     table_a.title = "Fig 9a: " + table_a.title + " [heterogeneous]"
-    table_b, raw_b = latency_vs_nodes(
-        lambda n: homogeneous_cluster(n, seed=seed),
-        sizes=homo_sizes, elements=1, iterations=iterations,
-        progress=progress)
+    sweep_b = latency_vs_nodes(
+        lambda n: ConfigSpec("homogeneous", n, seed),
+        sizes=homo_sizes, elements=1, iterations=iterations, jobs=jobs,
+        experiment="fig9b", progress=progress)
+    table_b = sweep_b.table
     table_b.title = "Fig 9b: " + table_b.title + " [homogeneous 700MHz]"
-    out = ExperimentOutput("fig9", [table_a, table_b])
+    out = ExperimentOutput("fig9", [table_a, table_b],
+                           points=sweep_a.points + sweep_b.points)
 
     nab_a = table_a._find("nab").values
     ab_a = table_a._find("ab").values
@@ -56,8 +59,9 @@ def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
     args = parser.parse_args(argv)
     banner("Fig. 9: reduction latency vs. nodes (no skew)")
     out = run(iterations=effective_iterations(args), seed=args.seed,
-              progress=print_progress)
+              jobs=args.jobs, progress=print_progress)
     print(out.render())
+    maybe_write_bench_json(out, args)
     return out
 
 

@@ -16,44 +16,32 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..bench.cpu_util import cpu_util_benchmark
 from ..bench.report import Table
-from ..config import extrapolated_cluster
-from ..mpich.rank import MpiBuild
+from ..bench.sweep import cpu_util_vs_nodes
+from ..orchestrate.points import ConfigSpec
 from .common import (ExperimentOutput, banner, effective_iterations,
-                     make_parser, print_progress)
+                     make_parser, maybe_write_bench_json, print_progress)
 
 SCALE_SIZES = (16, 32, 64, 128, 256)
 
 
 def run(*, sizes: Sequence[int] = SCALE_SIZES, elements: int = 4,
         max_skew_us: float = 1000.0, iterations: int = 20, seed: int = 1,
-        progress=None) -> ExperimentOutput:
+        jobs: int = 1, progress=None) -> ExperimentOutput:
+    sweep = cpu_util_vs_nodes(
+        lambda n: ConfigSpec("extrapolated", n, seed),
+        sizes=sizes, element_sizes=(elements,), max_skew_us=max_skew_us,
+        iterations=iterations, jobs=jobs, experiment="scale",
+        progress=progress)
     table = Table(
         f"Scalability extrapolation: factor of improvement vs. nodes "
         f"(skew {max_skew_us:.0f}us, {elements} elements)",
         "nodes", sizes)
-    nabs, abs_, signals = [], [], []
-    for size in sizes:
-        cfg = extrapolated_cluster(size, seed=seed)
-        nab = cpu_util_benchmark(cfg, MpiBuild.DEFAULT, elements=elements,
-                                 max_skew_us=max_skew_us,
-                                 iterations=iterations)
-        ab = cpu_util_benchmark(cfg, MpiBuild.AB, elements=elements,
-                                max_skew_us=max_skew_us,
-                                iterations=iterations)
-        nabs.append(nab.avg_util_us)
-        abs_.append(ab.avg_util_us)
-        signals.append(float(ab.signals))
-        if progress:
-            progress(f"n={size}: nab={nab.avg_util_us:.1f}us "
-                     f"ab={ab.avg_util_us:.1f}us "
-                     f"factor={nab.avg_util_us / ab.avg_util_us:.2f}")
-    table.add_series("nab", nabs)
-    table.add_series("ab", abs_)
+    table.add_series("nab", sweep.table._find(f"nab-{elements}").values)
+    table.add_series("ab", sweep.table._find(f"ab-{elements}").values)
     table.factor_series("factor", "nab", "ab")
 
-    out = ExperimentOutput("scale", [table])
+    out = ExperimentOutput("scale", [table], points=sweep.points)
     factors = table._find("factor").values
     grows = all(b > a for a, b in zip(factors, factors[1:]))
     out.notes.append(
@@ -72,8 +60,9 @@ def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
     args = parser.parse_args(argv)
     banner("Scalability extrapolation (16..256 nodes)")
     out = run(iterations=effective_iterations(args), seed=args.seed,
-              progress=print_progress)
+              jobs=args.jobs, progress=print_progress)
     print(out.render())
+    maybe_write_bench_json(out, args)
     return out
 
 

@@ -1,0 +1,39 @@
+"""Parallel experiment orchestration and the perf-regression harness.
+
+The sweep shape behind every figure in the paper — a grid of independent,
+seed-keyed, bit-deterministic simulator runs — is embarrassingly parallel.
+This package fans those grids out across worker processes
+(:mod:`.runner`), records each sweep as a machine-readable
+``BENCH_<name>.json`` (:mod:`.benchjson`), and gates perf regressions by
+diffing two such files (:mod:`.compare`, also
+``python -m repro.orchestrate.compare``).
+
+Entry points:
+
+* ``python -m repro.experiments <fig> --jobs N`` — parallel figure sweeps;
+* ``python -m repro.orchestrate run-point '<json>'`` — replay one point
+  serially (printed by worker-failure errors);
+* ``python -m repro.orchestrate smoke`` — the tiny CI sweep that emits
+  BENCH_smoke.json plus an InvariantMonitor report.
+"""
+
+from .benchjson import (bench_payload, git_sha, load_bench_json,
+                        write_bench_json)
+from .points import (ConfigSpec, PointResult, SweepPoint, execute_point)
+from .runner import PointFailed, run_points
+
+
+def __getattr__(name):
+    # Lazy so `python -m repro.orchestrate.compare` doesn't trip the
+    # "found in sys.modules before execution" runpy warning.
+    if name == "compare_payloads":
+        from .compare import compare_payloads
+        return compare_payloads
+    raise AttributeError(name)
+
+__all__ = [
+    "ConfigSpec", "SweepPoint", "PointResult", "execute_point",
+    "run_points", "PointFailed",
+    "bench_payload", "write_bench_json", "load_bench_json", "git_sha",
+    "compare_payloads",
+]

@@ -1,0 +1,111 @@
+"""CLI front end: ``python -m repro.orchestrate <command>``.
+
+Commands:
+
+``run-point '<json>'``
+    Replay a single sweep point serially in this process and print its
+    metrics.  The JSON is a :meth:`SweepPoint.to_dict` payload — exactly
+    what worker-failure errors embed in their repro command.
+
+``smoke [--jobs N] [--out DIR] [--seed S]``
+    Run the tiny orchestrated fig7-shaped sweep used by CI: a few
+    (size, build) points under the protocol-invariant monitor, merged
+    deterministically, written to ``BENCH_smoke.json`` plus
+    ``invariant-report.json`` in ``--out``.
+
+(The compare gate lives at ``python -m repro.orchestrate.compare``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .benchjson import write_bench_json
+from .points import SweepPoint, execute_point, smoke_points
+from .runner import run_points
+
+
+def _cmd_run_point(args: argparse.Namespace) -> int:
+    try:
+        spec = json.loads(args.spec)
+        point = SweepPoint.from_dict(spec)
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: bad point spec: {exc}", file=sys.stderr)
+        return 2
+    res = execute_point(point)
+    print(json.dumps({
+        "key": res.point.key(),
+        "metrics": res.metrics,
+        "wall_time_s": res.wall_time_s,
+        "counters": res.counters,
+        "invariant_report": res.invariant_report,
+    }, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    points = smoke_points(seed=args.seed, iterations=args.iterations)
+    results = run_points(points, jobs=args.jobs,
+                         progress=lambda line: print(f"  {line}",
+                                                     flush=True))
+    bench_path = write_bench_json("smoke", results, directory=out_dir,
+                                  jobs=args.jobs)
+    report = {
+        "schema": 1,
+        "points": [
+            {"key": r.point.key(), "report": r.invariant_report}
+            for r in results
+        ],
+        "violation_count": sum(
+            (r.invariant_report or {}).get("violation_count", 0)
+            for r in results),
+    }
+    report_path = out_dir / "invariant-report.json"
+    report_path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"wrote {bench_path} and {report_path}")
+    if report["violation_count"]:
+        print(f"protocol invariant violations: "
+              f"{report['violation_count']}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrate",
+        description="parallel sweep orchestration utilities")
+    sub = parser.add_subparsers(dest="command")
+
+    p_run = sub.add_parser("run-point",
+                           help="replay one sweep point serially")
+    p_run.add_argument("spec", help="SweepPoint JSON (from a failure's "
+                                    "repro command)")
+
+    p_smoke = sub.add_parser("smoke", help="tiny CI sweep with invariant "
+                                           "collection")
+    p_smoke.add_argument("--jobs", type=int, default=2)
+    p_smoke.add_argument("--seed", type=int, default=1)
+    p_smoke.add_argument("--iterations", type=int, default=10)
+    p_smoke.add_argument("--out", default="ci-artifacts")
+
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+    if args.command == "run-point":
+        return _cmd_run_point(args)
+    if args.command == "smoke":
+        return _cmd_smoke(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""BENCH_<name>.json — the machine-readable perf trajectory of a sweep.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "name": "fig7",
+      "git_sha": "abc1234...",          # "unknown" outside a git checkout
+      "created_unix": 1754400000,
+      "jobs": 4,                         # --jobs the sweep ran with
+      "total_wall_s": 12.34,             # sum of per-point wall times
+      "points": [
+        {
+          "key": {"experiment": "fig7", "kind": "cpu_util", "size": 32,
+                  "skew_us": 1000.0, "build": "ab", "elements": 4,
+                  "seed": 1, "iterations": 100},
+          "metrics": {"avg_util_us": 12.3, ...},   # bit-deterministic
+          "wall_time_s": 0.42,                     # host time; noisy
+          "counters": {"events": 123456, "ops": 23456},
+          "seed": 1
+        }, ...
+      ]
+    }
+
+``metrics`` values are pure functions of the key (the simulator is
+deterministic), so the compare CLI treats any metric difference as drift;
+``wall_time_s`` is host time and only gates through a percentage
+tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .points import PointResult
+
+SCHEMA_VERSION = 1
+
+
+def git_sha(cwd: Optional[Union[str, Path]] = None) -> str:
+    """Current commit sha, or "unknown" outside a usable git checkout."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10,
+                             cwd=cwd)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def bench_payload(name: str, results: Sequence[PointResult], *,
+                  jobs: int = 1, sha: Optional[str] = None) -> dict:
+    """Build the schema-1 payload for a completed sweep."""
+    points = []
+    for res in results:
+        points.append({
+            "key": res.point.key(),
+            "metrics": dict(res.metrics),
+            "wall_time_s": res.wall_time_s,
+            "counters": dict(res.counters),
+            "seed": res.point.config.seed,
+        })
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": name,
+        "git_sha": sha if sha is not None else git_sha(),
+        "created_unix": int(time.time()),
+        "jobs": jobs,
+        "total_wall_s": sum(r.wall_time_s for r in results),
+        "points": points,
+    }
+
+
+def write_bench_json(name: str, results: Sequence[PointResult], *,
+                     directory: Union[str, Path, None] = None,
+                     path: Union[str, Path, None] = None,
+                     jobs: int = 1, sha: Optional[str] = None) -> Path:
+    """Write ``BENCH_<name>.json`` (or an explicit ``path``); returns it."""
+    if path is None:
+        directory = Path(directory) if directory is not None else Path(".")
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{name}.json"
+    else:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    payload = bench_payload(name, results, jobs=jobs, sha=sha)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_json(path: Union[str, Path]) -> dict:
+    """Load and minimally validate a BENCH_*.json payload."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "points" not in payload:
+        raise ValueError(f"{path}: not a BENCH json (no 'points')")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported schema "
+                         f"{payload.get('schema')!r} "
+                         f"(expected {SCHEMA_VERSION})")
+    return payload
+
+
+def point_index(payload: dict) -> dict:
+    """Map canonical key-string -> point record, for compare joins."""
+    index = {}
+    for record in payload["points"]:
+        key = json.dumps(record["key"], sort_keys=True)
+        index[key] = record
+    return index

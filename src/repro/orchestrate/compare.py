@@ -1,0 +1,189 @@
+"""Perf-regression gate: diff two BENCH_*.json files.
+
+Usage::
+
+    python -m repro.orchestrate.compare OLD.json NEW.json --tolerance 10
+
+Exit codes: 0 — clean; 1 — metric drift, wall-time regression past the
+tolerance, or points missing from NEW; 2 — usage error (unreadable files,
+bad schema, bad flags).
+
+Two different gates, because the two number families have different
+physics:
+
+* **metrics** are bit-deterministic outputs of the simulator — *any*
+  relative difference beyond ``--metric-tolerance`` (default 0, i.e.
+  exact) is drift and fails the gate;
+* **wall times** are host measurements — only a total-sweep slowdown of
+  more than ``--tolerance`` percent (default 10) fails, and per-point
+  slowdowns are reported but advisory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .benchjson import load_bench_json, point_index
+
+EXIT_CLEAN = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrate.compare",
+        description="diff two BENCH_*.json files; nonzero exit on metric "
+                    "drift or wall-time regression")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        metavar="PCT",
+                        help="allowed total wall-time regression in "
+                             "percent (default 10)")
+    parser.add_argument("--metric-tolerance", type=float, default=0.0,
+                        metavar="REL",
+                        help="allowed relative metric difference "
+                             "(default 0 — metrics are deterministic)")
+    return parser
+
+
+def _rel_diff(old: float, new: float) -> float:
+    if old == new:
+        return 0.0
+    denom = max(abs(old), abs(new))
+    return abs(new - old) / denom if denom else 0.0
+
+
+def _label(key: dict) -> str:
+    return (f"{key.get('experiment')}/{key.get('kind')} "
+            f"n={key.get('size')} skew={key.get('skew_us'):g} "
+            f"{key.get('build')} elems={key.get('elements')} "
+            f"seed={key.get('seed')}")
+
+
+def _render_rows(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [max(len(header[c]), *(len(r[c]) for r in rows))
+              for c in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(v.ljust(w) for v, w in zip(row, widths))
+              for row in rows]
+    return "\n".join(lines)
+
+
+def compare_payloads(old: dict, new: dict, *, tolerance_pct: float = 10.0,
+                     metric_tolerance: float = 0.0) -> dict:
+    """Pure comparison; returns a verdict dict the CLI renders."""
+    old_idx = point_index(old)
+    new_idx = point_index(new)
+    shared = [k for k in old_idx if k in new_idx]
+    missing = sorted(k for k in old_idx if k not in new_idx)
+    added = sorted(k for k in new_idx if k not in old_idx)
+
+    drifts = []
+    walls = []
+    for key in shared:
+        o, n = old_idx[key], new_idx[key]
+        for metric in sorted(set(o["metrics"]) | set(n["metrics"])):
+            if metric not in o["metrics"] or metric not in n["metrics"]:
+                drifts.append({"key": o["key"], "metric": metric,
+                               "old": o["metrics"].get(metric),
+                               "new": n["metrics"].get(metric),
+                               "rel": float("inf")})
+                continue
+            ov, nv = o["metrics"][metric], n["metrics"][metric]
+            rel = _rel_diff(float(ov), float(nv))
+            if rel > metric_tolerance:
+                drifts.append({"key": o["key"], "metric": metric,
+                               "old": ov, "new": nv, "rel": rel})
+        walls.append({"key": o["key"], "old": o["wall_time_s"],
+                      "new": n["wall_time_s"]})
+
+    old_wall = sum(w["old"] for w in walls)
+    new_wall = sum(w["new"] for w in walls)
+    wall_pct = ((new_wall - old_wall) / old_wall * 100.0) if old_wall else 0.0
+    wall_regressed = wall_pct > tolerance_pct
+
+    return {
+        "shared_points": len(shared),
+        "missing_points": [json.loads(k) for k in missing],
+        "added_points": [json.loads(k) for k in added],
+        "metric_drifts": drifts,
+        "wall": {"old_s": old_wall, "new_s": new_wall,
+                 "pct": wall_pct, "tolerance_pct": tolerance_pct,
+                 "regressed": wall_regressed,
+                 "per_point": walls},
+        "ok": not drifts and not wall_regressed and not missing,
+    }
+
+
+def render_verdict(verdict: dict, old_name: str, new_name: str) -> str:
+    lines = [f"bench compare: {old_name} -> {new_name}",
+             f"  shared points: {verdict['shared_points']}"]
+    if verdict["added_points"]:
+        lines.append(f"  new points (ignored): "
+                     f"{len(verdict['added_points'])}")
+    if verdict["missing_points"]:
+        lines.append(f"  MISSING from new: "
+                     f"{len(verdict['missing_points'])} point(s)")
+        for key in verdict["missing_points"][:10]:
+            lines.append(f"    - {_label(key)}")
+
+    drifts = verdict["metric_drifts"]
+    if drifts:
+        lines.append(f"  METRIC DRIFT in {len(drifts)} value(s):")
+        rows = [[_label(d["key"]), d["metric"], f"{d['old']}",
+                 f"{d['new']}",
+                 ("inf" if d["rel"] == float("inf")
+                  else f"{d['rel'] * 100.0:.4g}%")]
+                for d in drifts[:20]]
+        lines.append("    " + _render_rows(
+            ["point", "metric", "old", "new", "rel diff"],
+            rows).replace("\n", "\n    "))
+        if len(drifts) > 20:
+            lines.append(f"    ... and {len(drifts) - 20} more")
+
+    wall = verdict["wall"]
+    slow = sorted((w for w in wall["per_point"] if w["old"] > 0),
+                  key=lambda w: w["new"] / w["old"], reverse=True)[:5]
+    lines.append(f"  wall time: {wall['old_s']:.3f}s -> "
+                 f"{wall['new_s']:.3f}s ({wall['pct']:+.1f}%, "
+                 f"tolerance {wall['tolerance_pct']:g}%)"
+                 + ("  REGRESSED" if wall["regressed"] else ""))
+    if slow and wall["regressed"]:
+        rows = [[_label(w["key"]), f"{w['old']:.3f}s", f"{w['new']:.3f}s",
+                 f"{(w['new'] / w['old'] - 1) * 100.0:+.1f}%"]
+                for w in slow]
+        lines.append("    slowest movers:")
+        lines.append("    " + _render_rows(
+            ["point", "old", "new", "delta"], rows).replace("\n", "\n    "))
+    lines.append("  verdict: " + ("OK" if verdict["ok"] else "FAIL"))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return EXIT_USAGE if exc.code not in (0, None) else EXIT_CLEAN
+
+    try:
+        old = load_bench_json(args.old)
+        new = load_bench_json(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    verdict = compare_payloads(old, new, tolerance_pct=args.tolerance,
+                               metric_tolerance=args.metric_tolerance)
+    print(render_verdict(verdict, args.old, args.new))
+    return EXIT_CLEAN if verdict["ok"] else EXIT_REGRESSION
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

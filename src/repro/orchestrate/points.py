@@ -1,0 +1,355 @@
+"""Sweep points: the unit of work the orchestrator distributes.
+
+A :class:`SweepPoint` names one independent simulation run — one
+``Simulator`` instance, single-threaded and bit-deterministic for a fixed
+``(config, build, seed)`` — plus everything a worker process needs to
+rebuild it from scratch: a :class:`ConfigSpec` (a *serializable recipe*
+for a :class:`~repro.config.ClusterConfig`, not the config itself, so a
+failing point can be replayed from its JSON form) and the benchmark kind
+and arguments.
+
+The point's identity for merging and for BENCH_*.json is its
+:meth:`SweepPoint.key`: ``(experiment, kind, size, skew, build, elements,
+seed, iterations)``.  Two runs that share a key must produce bit-identical
+metrics; the orchestrator's tests enforce that across process boundaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Optional
+
+from ..config import (AbParams, ClusterConfig, NetParams, NicParams,
+                      NoiseParams, extrapolated_cluster, homogeneous_cluster,
+                      paper_cluster, quiet_cluster)
+from ..mpich.rank import MpiBuild
+
+#: Named cluster factories a ConfigSpec may reference.  Registry-based so
+#: a spec survives a JSON round trip (the repro command for a crashed
+#: worker) without pickling closures across processes.
+CONFIG_FACTORIES: dict[str, Callable[..., ClusterConfig]] = {
+    "paper": paper_cluster,
+    "homogeneous": homogeneous_cluster,
+    "extrapolated": extrapolated_cluster,
+    "quiet": quiet_cluster,
+}
+
+#: Optional parameter-block overrides a spec may carry, applied with
+#: dataclasses.replace semantics after the factory runs.
+_OVERRIDE_TYPES = {
+    "ab": AbParams,
+    "nic": NicParams,
+    "net": NetParams,
+    "noise": NoiseParams,
+}
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """Serializable recipe for a ClusterConfig: factory name + size + seed
+    plus optional parameter-block overrides."""
+
+    factory: str
+    size: int
+    seed: int
+    ab: Optional[AbParams] = None
+    nic: Optional[NicParams] = None
+    net: Optional[NetParams] = None
+    noise: Optional[NoiseParams] = None
+
+    def build(self) -> ClusterConfig:
+        try:
+            make = CONFIG_FACTORIES[self.factory]
+        except KeyError:
+            raise ValueError(f"unknown config factory {self.factory!r}; "
+                             f"known: {sorted(CONFIG_FACTORIES)}") from None
+        config = make(self.size, seed=self.seed)
+        if self.ab is not None:
+            config = config.with_ab(self.ab)
+        if self.nic is not None:
+            config = config.with_nic(self.nic)
+        if self.net is not None:
+            from dataclasses import replace
+            config = replace(config, net=self.net)
+        if self.noise is not None:
+            config = config.with_noise(self.noise)
+        return config
+
+    def to_dict(self) -> dict:
+        d: dict[str, Any] = {"factory": self.factory, "size": self.size,
+                             "seed": self.seed}
+        for name in _OVERRIDE_TYPES:
+            block = getattr(self, name)
+            if block is not None:
+                d[name] = asdict(block)
+        return d
+
+    def variant(self) -> str:
+        """Short stable tag for the (factory, overrides) combination, so
+        two points that differ only in parameter-block overrides (e.g. the
+        eager-limit ablation's limited vs. baseline configs) get distinct
+        BENCH keys."""
+        overrides = {name: asdict(block) for name in _OVERRIDE_TYPES
+                     if (block := getattr(self, name)) is not None}
+        if not overrides:
+            return self.factory
+        digest = hashlib.sha1(
+            json.dumps(overrides, sort_keys=True).encode()).hexdigest()[:8]
+        return f"{self.factory}+{digest}"
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ConfigSpec":
+        kwargs: dict[str, Any] = {"factory": d["factory"],
+                                  "size": int(d["size"]),
+                                  "seed": int(d["seed"])}
+        for name, block_type in _OVERRIDE_TYPES.items():
+            if d.get(name) is not None:
+                kwargs[name] = block_type(**d[name])
+        return cls(**kwargs)
+
+
+BUILD_TAGS = {"nab": MpiBuild.DEFAULT, "ab": MpiBuild.AB}
+
+
+def build_from_tag(tag: str) -> MpiBuild:
+    try:
+        return BUILD_TAGS[tag]
+    except KeyError:
+        raise ValueError(f"unknown build tag {tag!r}; "
+                         f"known: {sorted(BUILD_TAGS)}") from None
+
+
+@dataclass
+class SweepPoint:
+    """One independent simulation run inside a sweep."""
+
+    experiment: str              # e.g. "fig7"
+    kind: str                    # executor name in KINDS
+    config: ConfigSpec
+    build: str                   # "nab" | "ab"
+    elements: int
+    max_skew_us: float = 0.0
+    iterations: int = 100
+    warmup: int = 3
+    #: Collect an InvariantMonitor report alongside the metrics (used by
+    #: the CI smoke sweep so protocol violations surface as artifacts).
+    collect_invariants: bool = False
+    #: Free-form executor options (e.g. the chaos kind's failure script).
+    options: dict = field(default_factory=dict)
+
+    def key(self) -> dict:
+        """The identity the merge and BENCH_*.json are keyed by."""
+        return {
+            "experiment": self.experiment,
+            "kind": self.kind,
+            "variant": self.config.variant(),
+            "size": self.config.size,
+            "skew_us": self.max_skew_us,
+            "build": self.build,
+            "elements": self.elements,
+            "seed": self.config.seed,
+            "iterations": self.iterations,
+        }
+
+    def label(self) -> str:
+        return (f"{self.experiment}/{self.kind} n={self.config.size} "
+                f"elems={self.elements} skew={self.max_skew_us:g} "
+                f"build={self.build} seed={self.config.seed}")
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "kind": self.kind,
+            "config": self.config.to_dict(),
+            "build": self.build,
+            "elements": self.elements,
+            "max_skew_us": self.max_skew_us,
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+            "collect_invariants": self.collect_invariants,
+            "options": self.options,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepPoint":
+        return cls(
+            experiment=d["experiment"],
+            kind=d["kind"],
+            config=ConfigSpec.from_dict(d["config"]),
+            build=d["build"],
+            elements=int(d["elements"]),
+            max_skew_us=float(d.get("max_skew_us", 0.0)),
+            iterations=int(d.get("iterations", 100)),
+            warmup=int(d.get("warmup", 3)),
+            collect_invariants=bool(d.get("collect_invariants", False)),
+            options=dict(d.get("options", {})),
+        )
+
+    def repro_command(self) -> str:
+        """Shell command that replays exactly this point, serially, in a
+        fresh process — pasted into worker-failure errors."""
+        spec = json.dumps(self.to_dict(), sort_keys=True)
+        return ("PYTHONPATH=src python -m repro.orchestrate run-point "
+                f"'{spec}'")
+
+
+@dataclass
+class PointResult:
+    """What a worker hands back for one completed point."""
+
+    point: SweepPoint
+    #: Scalar metrics only — this is what BENCH_*.json records and what
+    #: the compare CLI diffs.  Bit-identical across --jobs settings.
+    metrics: dict
+    #: Host wall-clock seconds for this point (worker-side measurement).
+    wall_time_s: float
+    #: Simulator work counters (events/ops/processes) for the run.
+    counters: dict
+    #: The full benchmark result object (CpuUtilResult / LatencyResult),
+    #: for table assembly in the parent.  None for metric-only kinds.
+    result: Any = None
+    #: InvariantMonitor report when point.collect_invariants was set.
+    invariant_report: Optional[dict] = None
+
+
+# ---------------------------------------------------------------------------
+# executors
+# ---------------------------------------------------------------------------
+
+def _run_cpu_util(point: SweepPoint, config: ClusterConfig):
+    from ..bench.cpu_util import cpu_util_benchmark
+    r = cpu_util_benchmark(config, build_from_tag(point.build),
+                           elements=point.elements,
+                           max_skew_us=point.max_skew_us,
+                           iterations=point.iterations, warmup=point.warmup)
+    metrics = {
+        "avg_util_us": r.avg_util_us,
+        "direct_avg_util_us": r.direct_avg_util_us,
+        "signals": float(r.signals),
+    }
+    counters = {"events": r.events, "ops": r.ops}
+    return r, metrics, counters
+
+
+def _run_latency(point: SweepPoint, config: ClusterConfig):
+    from ..bench.latency import latency_benchmark
+    r = latency_benchmark(config, build_from_tag(point.build),
+                          elements=point.elements,
+                          iterations=point.iterations, warmup=point.warmup)
+    metrics = {
+        "avg_latency_us": r.avg_latency_us,
+        "median_latency_us": r.median_latency_us,
+        "one_way_us": r.one_way_us,
+        "signals": float(r.signals),
+    }
+    counters = {"events": r.events, "ops": r.ops}
+    return r, metrics, counters
+
+
+def _run_nicred_cpu(point: SweepPoint, config: ClusterConfig):
+    from ..bench.nicred import nicred_cpu_util
+    util = nicred_cpu_util(config, elements=point.elements,
+                           max_skew_us=point.max_skew_us,
+                           iterations=point.iterations)
+    return util, {"avg_util_us": float(util)}, {}
+
+
+def _run_nicred_latency(point: SweepPoint, config: ClusterConfig):
+    from ..bench.nicred import nicred_latency
+    lat = nicred_latency(config, elements=point.elements,
+                         iterations=point.iterations)
+    return lat, {"avg_latency_us": float(lat)}, {}
+
+
+def _run_chaos(point: SweepPoint, config: ClusterConfig):
+    """Deliberately unreliable executor for exercising the retry path
+    (tests and fault drills only).  Fails until a counter file records
+    ``succeed_after`` prior attempts, then returns a fixed metric."""
+    import os
+    counter_file = point.options["counter_file"]
+    succeed_after = int(point.options.get("succeed_after", 1))
+    attempts = 0
+    if os.path.exists(counter_file):
+        with open(counter_file) as fh:
+            attempts = int(fh.read().strip() or 0)
+    attempts += 1
+    with open(counter_file, "w") as fh:
+        fh.write(str(attempts))
+    if attempts <= succeed_after:
+        raise RuntimeError(f"chaos point failing on purpose "
+                           f"(attempt {attempts}/{succeed_after})")
+    return None, {"attempts": float(attempts)}, {}
+
+
+def smoke_points(*, seed: int = 1, iterations: int = 10,
+                 sizes: tuple = (2, 4, 8),
+                 collect_invariants: bool = True) -> list["SweepPoint"]:
+    """The CI smoke grid: fig7-shaped, seconds not minutes."""
+    return [
+        SweepPoint(experiment="smoke", kind="cpu_util",
+                   config=ConfigSpec("paper", size, seed),
+                   build=build, elements=4, max_skew_us=1000.0,
+                   iterations=iterations,
+                   collect_invariants=collect_invariants)
+        for size in sizes
+        for build in ("nab", "ab")
+    ]
+
+
+KINDS: dict[str, Callable] = {
+    "cpu_util": _run_cpu_util,
+    "latency": _run_latency,
+    "nicred_cpu_util": _run_nicred_cpu,
+    "nicred_latency": _run_nicred_latency,
+    "chaos": _run_chaos,
+}
+
+
+def execute_point(point: SweepPoint) -> PointResult:
+    """Run one point to completion in the current process.
+
+    This is the function worker processes execute; it must stay importable
+    at module top level (picklable by reference) and free of global state
+    beyond the registries above.
+    """
+    try:
+        runner = KINDS[point.kind]
+    except KeyError:
+        raise ValueError(f"unknown point kind {point.kind!r}; "
+                         f"known: {sorted(KINDS)}") from None
+    config = point.config.build()
+
+    monitor = None
+    if point.collect_invariants:
+        from ..analysis import COLLECT, InvariantMonitor, \
+            set_default_monitor_factory
+        reports: list = []
+
+        def _factory():
+            m = InvariantMonitor(mode=COLLECT)
+            reports.append(m)
+            return m
+        set_default_monitor_factory(_factory)
+    t0 = time.perf_counter()
+    try:
+        result, metrics, counters = runner(point, config)
+    finally:
+        if point.collect_invariants:
+            set_default_monitor_factory(None)
+            monitor = reports
+    wall = time.perf_counter() - t0
+
+    invariant_report = None
+    if monitor:
+        invariant_report = {
+            "checks": sum(m.checks for m in monitor),
+            "violation_count": sum(len(m.violations) for m in monitor),
+            "violations": [v.to_dict() for m in monitor
+                           for v in m.violations],
+        }
+    return PointResult(point=point, metrics=metrics, wall_time_s=wall,
+                       counters=counters, result=result,
+                       invariant_report=invariant_report)

@@ -1,0 +1,116 @@
+"""Process-pool sweep runner with deterministic merge and crash retry.
+
+Every :class:`~repro.orchestrate.points.SweepPoint` is an independent,
+single-threaded, bit-deterministic simulation, so a sweep is embarrassingly
+parallel: fan the points out over a pool of worker processes and merge the
+results back **by submission index**, never by completion order.  For a
+fixed point list the merged metrics are therefore bit-identical for any
+``--jobs`` value — the property the CI smoke gate asserts.
+
+Failure handling: a point that raises (or whose worker process dies) is
+retried up to ``retries`` times in a fresh pool.  When retries are
+exhausted a :class:`PointFailed` is raised whose message embeds the
+failing point's exact serial repro command
+(``python -m repro.orchestrate run-point '<json>'``), so a flaky CI log is
+one copy-paste away from a local reproduction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Optional, Sequence
+
+from .points import PointResult, SweepPoint, execute_point
+
+ProgressFn = Callable[[str], None]
+
+
+class PointFailed(RuntimeError):
+    """A sweep point kept failing after all retries."""
+
+    def __init__(self, point: SweepPoint, cause: BaseException,
+                 attempts: int):
+        self.point = point
+        self.cause = cause
+        self.attempts = attempts
+        super().__init__(
+            f"sweep point failed after {attempts} attempt(s): "
+            f"{point.label()}\n"
+            f"  last error: {type(cause).__name__}: {cause}\n"
+            f"  reproduce serially with:\n"
+            f"    {point.repro_command()}")
+
+
+def run_points(points: Sequence[SweepPoint], *, jobs: int = 1,
+               retries: int = 1,
+               progress: Optional[ProgressFn] = None) -> list[PointResult]:
+    """Execute ``points`` and return results in submission order.
+
+    ``jobs <= 1`` runs everything serially in-process (no pickling, no
+    pool); ``jobs > 1`` fans out over a ``ProcessPoolExecutor``.  Both
+    paths share the retry policy, and both produce identical metrics —
+    the simulator is deterministic per (config, seed), and the merge is
+    keyed by index, not completion order.
+    """
+    points = list(points)
+    if jobs <= 1 or len(points) <= 1:
+        return [_run_serial(p, retries=retries, progress=progress)
+                for p in points]
+    return _run_pool(points, jobs=jobs, retries=retries, progress=progress)
+
+
+def _report(progress: Optional[ProgressFn], res: PointResult) -> None:
+    if progress is None:
+        return
+    metrics = ", ".join(f"{k}={v:.2f}" for k, v in
+                        sorted(res.metrics.items()))
+    progress(f"{res.point.label()} -> {metrics} "
+             f"[{res.wall_time_s * 1e3:.0f}ms]")
+
+
+def _run_serial(point: SweepPoint, *, retries: int,
+                progress: Optional[ProgressFn]) -> PointResult:
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            res = execute_point(point)
+        except Exception as exc:
+            if attempt > retries:
+                raise PointFailed(point, exc, attempt) from exc
+            continue
+        _report(progress, res)
+        return res
+
+
+def _run_pool(points: list[SweepPoint], *, jobs: int, retries: int,
+              progress: Optional[ProgressFn]) -> list[PointResult]:
+    results: list[Optional[PointResult]] = [None] * len(points)
+    pending = list(enumerate(points))
+    attempts = {i: 0 for i in range(len(points))}
+    while pending:
+        failures: list[tuple[int, SweepPoint, BaseException]] = []
+        # A fresh pool per round: a hard worker death (BrokenProcessPool)
+        # poisons the executor for every outstanding future, so the only
+        # safe retry unit is the whole remaining batch.
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(execute_point, p): (i, p)
+                       for i, p in pending}
+            for future in as_completed(futures):
+                i, p = futures[future]
+                attempts[i] += 1
+                try:
+                    results[i] = future.result()
+                except Exception as exc:
+                    failures.append((i, p, exc))
+                else:
+                    _report(progress, results[i])
+        if not failures:
+            break
+        exhausted = [(i, p, exc) for i, p, exc in failures
+                     if attempts[i] > retries]
+        if exhausted:
+            i, p, exc = exhausted[0]
+            raise PointFailed(p, exc, attempts[i]) from exc
+        pending = [(i, p) for i, p, _ in failures]
+    return results  # type: ignore[return-value]

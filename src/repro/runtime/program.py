@@ -35,6 +35,10 @@ class ProgramResult:
     def sim(self):
         return self.cluster.sim
 
+    def sim_counters(self) -> dict[str, int]:
+        """Event/op/process counts for this run (see Simulator.counters)."""
+        return self.cluster.sim.counters()
+
     def cpu_usage(self, rank: int) -> dict[str, float]:
         return self.cluster.nodes[rank].cpu.usage_snapshot()
 

@@ -28,6 +28,8 @@ class Simulator:
         self.processes: list[SimProcess] = []
         self._live_processes = 0
         self.events_processed = 0
+        self.ops_executed = 0
+        self.processes_spawned = 0
         #: Invariant monitors notified on every event pop (see
         #: repro.analysis.invariants); empty in production runs so the
         #: hot loop pays a single falsy check.
@@ -66,6 +68,7 @@ class Simulator:
         proc = SimProcess(gen, name, cpu)
         self.processes.append(proc)
         self._live_processes += 1
+        self.processes_spawned += 1
         self.schedule(0.0, self._step, proc, None)
         return proc
 
@@ -118,12 +121,23 @@ class Simulator:
     def live_process_count(self) -> int:
         return self._live_processes
 
+    def counters(self) -> dict[str, int]:
+        """Per-run work counters (events popped, process-driver ops,
+        processes spawned) — the denominator side of the orchestrator's
+        wall-time metrics (events/second across a sweep)."""
+        return {
+            "events": self.events_processed,
+            "ops": self.ops_executed,
+            "processes": self.processes_spawned,
+        }
+
     # ------------------------------------------------------------------
     # the process driver
     # ------------------------------------------------------------------
     def _step(self, proc: SimProcess, value: Any = None) -> None:
         if proc.done:
             return
+        self.ops_executed += 1
         try:
             cmd = proc.gen.send(value)
         except StopIteration as stop:

@@ -1,0 +1,125 @@
+"""Unit tests for the perf-regression gate
+(``python -m repro.orchestrate.compare``): verdicts and exit codes."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.orchestrate.benchjson import (bench_payload, load_bench_json,
+                                         write_bench_json)
+from repro.orchestrate.compare import (EXIT_CLEAN, EXIT_REGRESSION,
+                                       EXIT_USAGE, compare_payloads, main)
+from repro.orchestrate.points import ConfigSpec, PointResult, SweepPoint
+
+
+def _result(size: int, util: float, wall: float) -> PointResult:
+    point = SweepPoint(experiment="t", kind="cpu_util",
+                       config=ConfigSpec("paper", size, 1), build="ab",
+                       elements=4, max_skew_us=1000.0, iterations=5)
+    return PointResult(point=point, metrics={"avg_util_us": util},
+                       wall_time_s=wall, counters={"events": 100})
+
+
+def _payload(**overrides) -> dict:
+    results = [_result(2, 10.0, 1.0), _result(4, 12.0, 2.0)]
+    payload = bench_payload("t", results, jobs=1, sha="cafe")
+    payload.update(overrides)
+    return payload
+
+
+def _write(tmp_path, name: str, payload: dict) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_self_compare_is_clean(tmp_path):
+    path = _write(tmp_path, "a.json", _payload())
+    assert main([path, path]) == EXIT_CLEAN
+
+
+def test_metric_drift_fails(tmp_path):
+    old = _payload()
+    new = copy.deepcopy(old)
+    new["points"][1]["metrics"]["avg_util_us"] *= 1.001
+    verdict = compare_payloads(old, new)
+    assert not verdict["ok"]
+    assert len(verdict["metric_drifts"]) == 1
+    assert main([_write(tmp_path, "old.json", old),
+                 _write(tmp_path, "new.json", new)]) == EXIT_REGRESSION
+
+
+def test_metric_tolerance_waives_small_drift(tmp_path):
+    old = _payload()
+    new = copy.deepcopy(old)
+    new["points"][1]["metrics"]["avg_util_us"] *= 1.001
+    assert main([_write(tmp_path, "old.json", old),
+                 _write(tmp_path, "new.json", new),
+                 "--metric-tolerance", "0.01"]) == EXIT_CLEAN
+
+
+def test_wall_regression_beyond_tolerance_fails(tmp_path):
+    old = _payload()
+    new = copy.deepcopy(old)
+    for record in new["points"]:          # +20% everywhere, tolerance 10%
+        record["wall_time_s"] *= 1.20
+    assert main([_write(tmp_path, "old.json", old),
+                 _write(tmp_path, "new.json", new),
+                 "--tolerance", "10"]) == EXIT_REGRESSION
+
+
+def test_wall_regression_within_tolerance_passes(tmp_path):
+    old = _payload()
+    new = copy.deepcopy(old)
+    for record in new["points"]:          # +5% is inside the 10% budget
+        record["wall_time_s"] *= 1.05
+    assert main([_write(tmp_path, "old.json", old),
+                 _write(tmp_path, "new.json", new),
+                 "--tolerance", "10"]) == EXIT_CLEAN
+
+
+def test_missing_point_fails(tmp_path):
+    old = _payload()
+    new = copy.deepcopy(old)
+    del new["points"][0]
+    verdict = compare_payloads(old, new)
+    assert not verdict["ok"]
+    assert len(verdict["missing_points"]) == 1
+    assert main([_write(tmp_path, "old.json", old),
+                 _write(tmp_path, "new.json", new)]) == EXIT_REGRESSION
+
+
+def test_added_points_are_ignored(tmp_path):
+    old = _payload()
+    new = copy.deepcopy(old)
+    new["points"].append({"key": {"experiment": "t", "kind": "cpu_util",
+                                  "variant": "paper", "size": 8,
+                                  "skew_us": 1000.0, "build": "ab",
+                                  "elements": 4, "seed": 1,
+                                  "iterations": 5},
+                          "metrics": {"avg_util_us": 14.0},
+                          "wall_time_s": 3.0, "counters": {}, "seed": 1})
+    verdict = compare_payloads(old, new)
+    assert verdict["ok"]
+    assert len(verdict["added_points"]) == 1
+
+
+def test_usage_errors(tmp_path):
+    good = _write(tmp_path, "good.json", _payload())
+    assert main([good, str(tmp_path / "missing.json")]) == EXIT_USAGE
+    bad_schema = _write(tmp_path, "bad.json", _payload(schema=99))
+    assert main([good, bad_schema]) == EXIT_USAGE
+    assert main(["--no-such-flag"]) == EXIT_USAGE
+
+
+def test_write_and_load_round_trip(tmp_path):
+    results = [_result(2, 10.0, 1.0)]
+    path = write_bench_json("t", results, directory=tmp_path, jobs=3,
+                            sha="cafe")
+    assert path.name == "BENCH_t.json"
+    payload = load_bench_json(path)
+    assert payload["jobs"] == 3
+    assert payload["git_sha"] == "cafe"
+    assert payload["points"][0]["metrics"]["avg_util_us"] == 10.0
+    assert payload["total_wall_s"] == 1.0

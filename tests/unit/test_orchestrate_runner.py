@@ -1,0 +1,80 @@
+"""Unit tests for repro.orchestrate.runner: deterministic merge, retry,
+and failure reporting across the process pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrate.points import ConfigSpec, SweepPoint
+from repro.orchestrate.runner import PointFailed, run_points
+
+
+def _grid(iterations: int = 4) -> list[SweepPoint]:
+    return [
+        SweepPoint(experiment="t", kind="cpu_util",
+                   config=ConfigSpec("paper", size, 1), build=build,
+                   elements=4, max_skew_us=1000.0, iterations=iterations)
+        for size in (2, 4)
+        for build in ("nab", "ab")
+    ]
+
+
+def test_parallel_merge_is_bit_identical_to_serial():
+    points = _grid()
+    serial = run_points(points, jobs=1)
+    parallel = run_points(points, jobs=2)
+    # merged in submission order, not completion order...
+    assert [r.point.key() for r in parallel] == \
+        [r.point.key() for r in serial]
+    # ...and every metric matches bit for bit across the process boundary
+    assert [r.metrics for r in parallel] == [r.metrics for r in serial]
+    assert [r.counters for r in parallel] == [r.counters for r in serial]
+
+
+def _chaos_point(counter_file, succeed_after: int) -> SweepPoint:
+    return SweepPoint(experiment="t", kind="chaos",
+                      config=ConfigSpec("paper", 2, 1), build="ab",
+                      elements=4,
+                      options={"counter_file": str(counter_file),
+                               "succeed_after": succeed_after})
+
+
+# A healthy companion point keeps len(points) > 1, so jobs=2 really takes
+# the process-pool path (a single point short-circuits to serial).
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_crashing_point_is_retried(tmp_path, jobs):
+    counter = tmp_path / f"attempts-{jobs}"
+    points = [_grid(iterations=2)[0], _chaos_point(counter, succeed_after=1)]
+    results = run_points(points, jobs=jobs, retries=1)
+    assert results[1].metrics["attempts"] == 2.0
+    assert counter.read_text() == "2"
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_exhausted_retries_raise_with_repro_command(tmp_path, jobs):
+    counter = tmp_path / f"attempts-{jobs}"
+    points = [_grid(iterations=2)[0], _chaos_point(counter, succeed_after=99)]
+    with pytest.raises(PointFailed) as err:
+        run_points(points, jobs=jobs, retries=1)
+    # the error hands the operator an exact serial replay command
+    assert "python -m repro.orchestrate run-point" in str(err.value)
+    assert str(counter) in str(err.value)
+
+
+def test_retry_only_reruns_the_failed_point(tmp_path):
+    counter = tmp_path / "attempts"
+    points = _grid(iterations=2) + [_chaos_point(counter, succeed_after=1)]
+    results = run_points(points, jobs=2, retries=1)
+    assert len(results) == len(points)
+    # the healthy points survive the chaos point's first-round failure
+    baseline = run_points(points[:-1], jobs=1)
+    assert [r.metrics for r in results[:-1]] == \
+        [r.metrics for r in baseline]
+    assert results[-1].metrics["attempts"] == 2.0
+
+
+def test_progress_callback_fires_per_point():
+    points = _grid(iterations=2)
+    lines: list[str] = []
+    run_points(points, jobs=2, progress=lines.append)
+    assert len(lines) == len(points)
