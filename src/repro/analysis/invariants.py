@@ -27,6 +27,13 @@ and each rank's :class:`~repro.core.engine.AbEngine` and checks:
 ``INV-CLOCK``
     Event times popped by the simulator never run backwards.
 
+``INV-FIFO`` (Sec. IV-D)
+    Per-(src, dst) deliveries leave the fabric in strictly increasing
+    arrival order.  The AB protocol matches late messages to reduce
+    descriptors by sender, which is only sound if the network never
+    reorders a pair's packets — multi-hop topologies (repro.topo) keep
+    routes deterministic per pair precisely to preserve this.
+
 Violations are collected into a structured report.  In ``assert`` mode the
 first violation raises :class:`~repro.errors.InvariantViolation`
 immediately (for CI); in ``collect`` mode the run continues and the report
@@ -71,6 +78,7 @@ class InvariantMonitor:
         self._engines: dict[int, object] = {}
         self._cluster = None
         self._finalized = False
+        self._fifo_last: dict[tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
     # wiring
@@ -79,6 +87,9 @@ class InvariantMonitor:
         """Hook a fully built cluster (sim loop + every NIC)."""
         self._cluster = cluster
         cluster.sim.add_monitor(self)
+        fabric = getattr(cluster, "fabric", None)
+        if fabric is not None:
+            fabric.monitor = self
         for node in cluster.nodes:
             node.nic.monitor = self
 
@@ -120,6 +131,23 @@ class InvariantMonitor:
             self.record("INV-CLOCK", None, now,
                         f"event time {event_time} precedes current time "
                         f"{now} — the virtual clock ran backwards")
+
+    def on_delivery(self, src: int, dst: int, arrival: float,
+                    now: float) -> None:
+        """Fabric committed a delivery time for a (src, dst) packet."""
+        self.checks += 1
+        key = (src, dst)
+        prev = self._fifo_last.get(key)
+        if prev is not None and arrival <= prev:
+            self.record(
+                "INV-FIFO", dst, now,
+                f"delivery from node {src} at t={arrival} does not follow "
+                f"the pair's previous delivery at t={prev} — per-(src,dst) "
+                f"FIFO broken; AB late-message matching depends on it "
+                f"(paper Sec. IV-D)",
+                src=src, arrival=arrival, prev=prev)
+            return
+        self._fifo_last[key] = arrival
 
     def on_signal_toggle(self, node_id: int, enabled: bool,
                          now: float) -> None:

@@ -26,6 +26,9 @@ SIM004    ``Ledger`` charged but never consumed (missing
           ``yield Busy.from_ledger(...)`` or hand-off)
 SIM005    mutable default argument
 SIM006    late-binding capture of a loop variable in a callback
+SIM007    direct ``CrossbarSwitch``/``Link`` construction outside the
+          ``repro.topo``/``repro.network`` factories (use
+          ``NetParams.topology`` + ``repro.topo.make_topology``)
 ========  ==============================================================
 
 Detection of dropped SimGens is *two-pass*: pass 1 collects every function
@@ -54,6 +57,7 @@ RULES: dict[str, str] = {
     "SIM004": "Ledger charged but never consumed",
     "SIM005": "mutable default argument",
     "SIM006": "late-binding loop-variable capture in callback",
+    "SIM007": "direct switch/link construction outside topo/network factories",
 }
 
 #: repro sub-packages in which SIM002 (determinism) applies.  Everything
@@ -62,7 +66,13 @@ RULES: dict[str, str] = {
 #: host clock.
 SIM_SCOPED_PACKAGES = frozenset({
     "sim", "mpich", "gm", "network", "core", "cluster", "apps", "runtime",
+    "topo",
 })
+
+#: SIM007: network primitives whose construction belongs to the pluggable
+#: topology layer, and the packages allowed to build them directly.
+_SIM007_CLASSES = frozenset({"CrossbarSwitch", "Link"})
+_SIM007_ALLOWED_PREFIXES = ("repro/network/", "repro/topo/")
 
 #: Fully-qualified callables that read the host wall clock or ambient
 #: process state.
@@ -237,7 +247,34 @@ class _FileLinter(ast.NodeVisitor):
                     self._emit("SIM002", node,
                                f"`{dotted}()` is ambient randomness — use "
                                f"a named `RngStreams` stream")
+        self._check_direct_network_ctor(node)
         self.generic_visit(node)
+
+    # -- SIM007: direct switch/link construction ----------------------
+    def _check_direct_network_ctor(self, node: ast.Call) -> None:
+        if self.path.startswith(_SIM007_ALLOWED_PREFIXES):
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return
+        if name not in _SIM007_CLASSES:
+            return
+        # Only flag the repro network primitives: a same-named class from
+        # an unrelated module resolves to a dotted path without any
+        # network/topo component.
+        dotted = self._dotted(func) or name
+        if dotted != name and not any(
+                part in ("network", "topo", "switch", "link")
+                for part in dotted.split(".")):
+            return
+        self._emit("SIM007", node,
+                   f"direct `{name}(...)` construction bypasses the "
+                   f"pluggable topology layer — configure "
+                   f"`NetParams.topology` / use `repro.topo.make_topology`")
 
     # -- SIM003: float equality on timestamps -------------------------
     def visit_Compare(self, node: ast.Compare) -> None:

@@ -26,7 +26,7 @@ independent bookkeeping path.  ``tests/integration`` asserts the two agree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -36,6 +36,7 @@ from ..mpich.operations import SUM
 from ..mpich.rank import MpiBuild
 from ..runtime.program import run_program
 from ..sim.trace import Tracer
+from ..topo.trees import make_tree_shape
 from .skew import SkewModel, conservative_latency_estimate
 from .stats import SampleSummary, summarize
 
@@ -70,6 +71,9 @@ class CpuUtilResult:
     #: the denominator of the orchestrator's events-per-second metric.
     events: int = 0
     ops: int = 0
+    #: Full ``Simulator.counters()`` snapshot, including the fabric's
+    #: per-hop network counters (hot-spot data for BENCH_*.json).
+    sim_counters: dict = field(default_factory=dict)
 
     def __str__(self) -> str:
         return (f"cpu-util[{self.build.value}] n={self.size} "
@@ -90,7 +94,10 @@ def cpu_util_benchmark(config: ClusterConfig, build: MpiBuild, *,
     size = config.size
     total_iters = warmup + iterations
     if catchup_us is None:
-        catchup_us = max_skew_us + conservative_latency_estimate(size, elements)
+        shape = make_tree_shape(config.mpi.tree_shape,
+                                radix=config.mpi.tree_radix)
+        catchup_us = max_skew_us + conservative_latency_estimate(
+            size, elements, shape=shape)
 
     expected = float(size * (size + 1) / 2)  # sum of (rank+1)
     check_counts = [0]
@@ -144,4 +151,5 @@ def cpu_util_benchmark(config: ClusterConfig, build: MpiBuild, *,
         summary=summarize(paper_matrix.mean(axis=0)),
         events=counters["events"],
         ops=counters["ops"],
+        sim_counters=dict(counters),
     )

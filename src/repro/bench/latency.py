@@ -17,7 +17,7 @@ overhead as the node count grows (paper Fig. 9 discussion).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -29,6 +29,7 @@ from ..mpich.operations import SUM
 from ..mpich.rank import MpiBuild
 from ..runtime.program import run_program
 from ..sim.trace import Tracer
+from ..topo.trees import make_tree_shape
 from .skew import SkewModel
 from .stats import SampleSummary, summarize
 
@@ -53,6 +54,9 @@ class LatencyResult:
     #: excluded) — see CpuUtilResult.events.
     events: int = 0
     ops: int = 0
+    #: Full ``Simulator.counters()`` snapshot of the measured run,
+    #: including the fabric's per-hop network counters.
+    sim_counters: dict = field(default_factory=dict)
 
     def __str__(self) -> str:
         return (f"latency[{self.build.value}] n={self.size} "
@@ -92,7 +96,9 @@ def latency_benchmark(config: ClusterConfig, build: MpiBuild, *,
     size = config.size
     if size < 2:
         raise ValueError("latency benchmark needs at least two nodes")
-    last_rel = tree.deepest_relative_rank(size)
+    shape = make_tree_shape(config.mpi.tree_shape,
+                            radix=config.mpi.tree_radix)
+    last_rel = shape.deepest_rel(size)
     last = tree.absolute_rank(last_rel, root, size)
     if last == root:  # size == 1 handled above; defensive
         last = (root + 1) % size
@@ -138,4 +144,5 @@ def latency_benchmark(config: ClusterConfig, build: MpiBuild, *,
         summary=summarize(samples),
         events=counters["events"],
         ops=counters["ops"],
+        sim_counters=dict(counters),
     )

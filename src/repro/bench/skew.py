@@ -64,7 +64,8 @@ class SkewModel:
         return total
 
 
-def conservative_latency_estimate(size: int, elements: int) -> float:
+def conservative_latency_estimate(size: int, elements: int, *,
+                                  shape=None) -> float:
     """Upper-bound guess for one reduction's latency, used to size the
     paper's *catch-up delay* ("the maximum skew delay plus a conservative
     estimate of the maximum reduction latency").
@@ -72,7 +73,14 @@ def conservative_latency_estimate(size: int, elements: int) -> float:
     Deliberately generous: the catch-up delay only has to be long enough to
     capture all asynchronous processing inside the timed window; it is
     subtracted back out of the measurement.
+
+    ``shape`` (a :class:`repro.topo.TreeShape`) deepens the estimate for
+    trees taller than binomial — e.g. a pipelined chain has ``size - 1``
+    combining levels, not ``log2(size)``.  The binomial depth never
+    exceeds the default, so passing the default shape changes nothing.
     """
     depth = max(1, (max(size, 2) - 1).bit_length())
+    if shape is not None:
+        depth = max(depth, shape.max_depth(size))
     per_hop = 25.0 + 0.02 * elements * 8
     return 100.0 + depth * per_hop

@@ -29,6 +29,7 @@ class Cluster:
         self.rng = RngStreams(config.seed)
         self.fabric = Fabric(self.sim, config.net, config.size,
                              rng=self.rng.stream("fabric"))
+        self.sim.add_counter_source(self.fabric.counters)
         self.nodes = [
             Node(self.sim, i, spec, config, self.fabric, self.tracer)
             for i, spec in enumerate(config.machines)

@@ -12,6 +12,7 @@ from ..gm.memory import PinnedMemoryManager
 from ..gm.nic import Nic
 from ..sim.cpu import HostCpu
 from ..sim.trace import Tracer
+from ..topo.trees import make_tree_shape
 
 
 class NodeCosts:
@@ -80,6 +81,10 @@ class Node:
             net_params=config.net,
         )
         self.pinned = PinnedMemoryManager(config.nic, spec.host_scale())
+        #: Collective tree shape shared by MPI collectives and the AB
+        #: engines (every node computes the identical tree).
+        self.tree_shape = make_tree_shape(config.mpi.tree_shape,
+                                          radix=config.mpi.tree_radix)
         #: Deterministic RNG streams; installed by Cluster right after
         #: construction (shared across the whole cluster).
         self.rng = None

@@ -140,6 +140,18 @@ class NetParams:
     drop_prob: float = 0.0
     #: Retransmission timeout for the reliable-delivery protocol.
     retransmit_timeout_us: float = 120.0
+    #: Interconnect topology (see ``repro.topo.TOPOLOGIES``): "crossbar"
+    #: (the paper's single 32-port switch), "fattree" (two-level Clos) or
+    #: "torus" (2D, dimension-order routing).
+    topology: str = "crossbar"
+    #: Fat-tree: hosts per edge switch.
+    fattree_hosts_per_switch: int = 8
+    #: Fat-tree: host-port to uplink bandwidth ratio (1.0 = full
+    #: bisection; 2.0 = half as many uplinks as host ports).
+    fattree_oversubscription: float = 1.0
+    #: Torus: X extent of the grid; 0 auto-factors the node count into
+    #: the most-square W x H arrangement.
+    torus_width: int = 0
 
 
 @dataclass(frozen=True)
@@ -162,6 +174,11 @@ class MpiParams:
     tree_setup_us: float = 0.3
     #: Allocating + enqueueing an unexpected-queue entry (excl. the copy).
     unexpected_insert_us: float = 0.3
+    #: Reduction/broadcast tree shape (see ``repro.topo.TREE_SHAPES``):
+    #: "binomial" (MPICH default), "knomial", "chain" or "bine".
+    tree_shape: str = "binomial"
+    #: Radix for shapes that take one (k-nomial); ignored by the rest.
+    tree_radix: int = 2
 
 
 @dataclass(frozen=True)
@@ -272,6 +289,12 @@ class ClusterConfig:
 
     def with_nic(self, nic: NicParams) -> "ClusterConfig":
         return replace(self, nic=nic)
+
+    def with_net(self, net: NetParams) -> "ClusterConfig":
+        return replace(self, net=net)
+
+    def with_mpi(self, mpi: MpiParams) -> "ClusterConfig":
+        return replace(self, mpi=mpi)
 
 
 def interlaced_roster(total: int = 32) -> tuple[MachineSpec, ...]:

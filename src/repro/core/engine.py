@@ -184,14 +184,15 @@ class AbEngine:
                                            comm, recvbuf)
             return result
 
-        kids_rel = tree.children(rel, size)
+        shape = self.rank.tree_shape
+        kids_rel = shape.children(rel, size)
         header = AbHeader(root=root_world, instance=instance, kind="reduce")
         if not kids_rel:
             # Leaf: one AB-framed eager send to the parent; nothing to wait
             # for (paper: leaves need no optimization, Sec. II).
             self.stats.leaf_sends += 1
             parent_world = comm.world_rank(
-                tree.absolute_rank(tree.parent(rel), root, size))
+                tree.absolute_rank(shape.parent(rel, size), root, size))
             self.rank.progress.start_send(sendbuf, parent_world, TAG_REDUCE,
                                           comm.coll_context, ledger,
                                           ab=header)
@@ -216,7 +217,7 @@ class AbEngine:
             acc = np.array(sendbuf, copy=True)
             ledger.charge(self.costs.copy_us(acc.nbytes), "copy")
             parent_world = comm.world_rank(
-                tree.absolute_rank(tree.parent(rel), root, size))
+                tree.absolute_rank(shape.parent(rel, size), root, size))
             children_world = [
                 comm.world_rank(tree.absolute_rank(c, root, size))
                 for c in kids_rel

@@ -123,7 +123,7 @@ class SplitPhaseReduce:
         ledger.charge(self.costs.copy_us(acc.nbytes), "copy")
         children = {
             comm.world_rank(tree.absolute_rank(c, root, size))
-            for c in tree.children(0, size)
+            for c in self.engine.rank.tree_shape.children(0, size)
         }
         state = _RootState(acc, children, op, handle)
         key = (comm.coll_context, instance)

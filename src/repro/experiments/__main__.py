@@ -18,8 +18,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     name, rest = argv[0], argv[1:]
     if name == "all":
-        for key in ("fig6", "fig7", "fig8", "fig9", "fig10", "ablations",
-                    "extensions", "scale"):
+        for key in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig_topo",
+                    "ablations", "extensions", "scale"):
             EXPERIMENTS[key](rest)
         return 0
     runner = EXPERIMENTS.get(name)

@@ -1,8 +1,11 @@
-"""Binomial-tree broadcast (default MPICH algorithm).
+"""Tree broadcast (binomial is the default MPICH algorithm).
 
 Each non-root rank receives from its tree parent, then forwards to its
-children in decreasing-mask order (deepest subtree first, which maximizes
-pipelining down the tree).
+children in *reverse* combine order (for the binomial shape that is
+decreasing-mask order: deepest subtree first, which maximizes pipelining
+down the tree).  The tree comes from the rank's configured
+:class:`repro.topo.TreeShape`; the default binomial shape reproduces the
+original mask-walk algorithm bit for bit.
 """
 
 from __future__ import annotations
@@ -53,23 +56,16 @@ def bcast_binomial(rank, data: Optional[np.ndarray], root: int,
             raise MpiError("non-root bcast needs a buffer or a count")
     yield Busy.from_ledger(ledger)
 
+    shape = rank.tree_shape
     # Receive phase: wait for the parent's copy.
-    mask = 1
-    while mask < size:
-        if rel & mask:
-            parent = tree.absolute_rank(rel & ~mask, root, size)
-            yield from rank.recv(buf, parent, tag, comm,
-                                 _context=comm.coll_context)
-            break
-        mask <<= 1
+    if rel != 0:
+        parent = tree.absolute_rank(shape.parent(rel, size), root, size)
+        yield from rank.recv(buf, parent, tag, comm,
+                             _context=comm.coll_context)
 
-    # Forward phase: decreasing mask.
-    mask >>= 1
-    while mask > 0:
-        child_rel = rel + mask
-        if child_rel < size:
-            child = tree.absolute_rank(child_rel, root, size)
-            yield from rank.send(buf, child, tag, comm,
-                                 _context=comm.coll_context)
-        mask >>= 1
+    # Forward phase: reverse combine order (deepest subtree first).
+    for child_rel in reversed(shape.children(rel, size)):
+        child = tree.absolute_rank(child_rel, root, size)
+        yield from rank.send(buf, child, tag, comm,
+                             _context=comm.coll_context)
     return buf

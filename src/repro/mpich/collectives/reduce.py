@@ -1,10 +1,14 @@
-"""Default (non-application-bypass) binomial-tree reduction.
+"""Default (non-application-bypass) tree reduction.
 
 This is the paper's baseline: every rank enters ``MPI_Reduce``; internal
-nodes perform a *blocking* receive from each child in mask order, combining
-as results arrive, then send the accumulated partial result to their parent.
-Any time spent waiting for a late child is spent spinning the progress
-engine — CPU time the application cannot use (paper Fig. 2a).
+nodes perform a *blocking* receive from each child in combine order,
+combining as results arrive, then send the accumulated partial result to
+their parent.  Any time spent waiting for a late child is spent spinning
+the progress engine — CPU time the application cannot use (paper Fig. 2a).
+
+The tree comes from the rank's configured :class:`repro.topo.TreeShape`
+(``MpiParams.tree_shape``); the default binomial shape reproduces the
+original MPICH algorithm bit for bit.
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ from . import tree
 def reduce_nab(rank, sendbuf: np.ndarray, op: Op, root: int,
                comm: Communicator, recvbuf: Optional[np.ndarray] = None,
                tag: int = TAG_REDUCE) -> Generator:
-    """Blocking binomial reduction; returns the result array at the root."""
+    """Blocking tree reduction; returns the result array at the root."""
     size = comm.size
     me = comm.rank_of_world(rank.rank)
     if not (0 <= root < size):
@@ -40,13 +44,14 @@ def reduce_nab(rank, sendbuf: np.ndarray, op: Op, root: int,
         return result
 
     ledger.charge(costs.tree_setup_us, "mpi")
+    shape = rank.tree_shape
     rel = tree.relative_rank(me, root, size)
-    kids = tree.children(rel, size)
+    kids = shape.children(rel, size)
 
     if not kids:
         # Leaf: nothing to combine — send the application buffer directly.
         yield Busy.from_ledger(ledger)
-        parent = tree.absolute_rank(tree.parent(rel), root, size)
+        parent = tree.absolute_rank(shape.parent(rel, size), root, size)
         yield from rank.send(np.asarray(sendbuf), parent, tag, comm,
                              _context=comm.coll_context)
         return None
@@ -68,7 +73,7 @@ def reduce_nab(rank, sendbuf: np.ndarray, op: Op, root: int,
         yield Busy.from_ledger(op_ledger)
 
     if rel != 0:
-        parent = tree.absolute_rank(tree.parent(rel), root, size)
+        parent = tree.absolute_rank(shape.parent(rel, size), root, size)
         yield from rank.send(acc, parent, tag, comm,
                              _context=comm.coll_context)
         return None

@@ -48,6 +48,7 @@ class MpiRank:
         self.node = node
         self.sim = node.sim
         self.costs = node.costs
+        self.tree_shape = node.tree_shape
         self.rank = node.id
         self.comm_world = comm_world
         self.build = build

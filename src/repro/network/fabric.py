@@ -1,14 +1,17 @@
-"""Fabric: wires host NICs through the crossbar switch.
+"""Fabric: wires host NICs through a pluggable interconnect topology.
 
 Responsibilities:
 
 * compute, for every packet, the time its last byte arrives at the
-  destination NIC (host link serialization -> cable -> switch cut-through ->
-  cable), including output-port contention;
+  destination NIC by delegating the hop-by-hop cut-through timing to the
+  configured :class:`repro.topo.Topology` (``NetParams.topology``; the
+  default single crossbar is bit-identical to the pre-registry fabric);
 * enforce **per-(source, destination) FIFO ordering** — Myrinet/GM delivers
   in order between a pair of endpoints, and the application-bypass protocol
   relies on this when matching late messages to reduce descriptors by
-  sender (paper Sec. IV-D);
+  sender (paper Sec. IV-D); topologies keep routes deterministic per pair
+  so multi-hop paths compose into the same guarantee, and the runtime
+  invariant monitor (INV-FIFO) checks it on every delivery;
 * invoke a delivery callback registered by the destination NIC.
 """
 
@@ -17,8 +20,6 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..config import NetParams
-from .link import Link
-from .switch import CrossbarSwitch
 
 DeliveryFn = Callable[[object, float], None]
 
@@ -40,11 +41,15 @@ class Fabric:
         self.nodes = nodes
         self.rng = rng
         self.packets_dropped = 0
-        self.switch = CrossbarSwitch(nodes, params.switch_latency_us,
-                                     params.link_bytes_per_us)
-        # Host injection links (one per node, toward the switch).
-        self.host_links = [Link(f"host[{n}].tx", params.link_bytes_per_us)
-                           for n in range(nodes)]
+        # Imported here: repro.topo builds on repro.network's Link/switch
+        # primitives, so a module-level import would be circular.
+        from ..topo import make_topology
+        self.topology = make_topology(params, nodes)
+        # Legacy accessors for the single-crossbar case (tests, diagnostics).
+        self.switch = getattr(self.topology, "switch", None)
+        self.host_links = self.topology.host_links
+        #: invariant monitor hook (set by InvariantMonitor.attach)
+        self.monitor = None
         self._sinks: list[Optional[DeliveryFn]] = [None] * nodes
         self._last_delivery: dict[tuple[int, int], float] = {}
         self.packets_delivered = 0
@@ -70,14 +75,8 @@ class Fabric:
             raise RuntimeError(f"no NIC attached at node {dst}")
 
         wire_bytes = packet.wire_bytes(self.params.header_bytes)
-        # Injection link: serialize out of the host NIC.
-        start, _inj_finish = self.host_links[src].transmit(at, wire_bytes)
-        # Cut-through: the head reaches the switch after one cable delay;
-        # the switch output port charges serialization once (overlapped with
-        # the injection link under cut-through).
-        head_at_switch = start + self.params.cable_latency_us
-        out_finish = self.switch.traverse(head_at_switch, dst, wire_bytes)
-        arrival = out_finish + self.params.cable_latency_us
+        # Hop-by-hop cut-through timing along the topology's route.
+        arrival = self.topology.transit(at, src, dst, wire_bytes)
 
         # Fault injection: the bits were clocked onto the wire (occupancy
         # above stands) but never reach the destination.
@@ -93,7 +92,22 @@ class Fabric:
             arrival = prev + self.FIFO_EPSILON
         self._last_delivery[key] = arrival
 
+        if self.monitor is not None:
+            self.monitor.on_delivery(src, dst, arrival, self.sim.now)
         self.packets_delivered += 1
         self.bytes_delivered += wire_bytes
         self.sim.at(arrival, sink, packet, arrival)
         return arrival
+
+    def counters(self) -> dict:
+        """Network counters merged into ``Simulator.counters()`` so
+        BENCH_*.json captures hot spots, not just event/op counts."""
+        out = {
+            "net_packets_delivered": self.packets_delivered,
+            "net_bytes_delivered": self.bytes_delivered,
+            "net_packets_dropped": self.packets_dropped,
+            "net_max_port_utilization":
+                self.topology.max_port_utilization(self.sim.now),
+        }
+        out.update(self.topology.counters())
+        return out

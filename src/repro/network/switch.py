@@ -32,11 +32,18 @@ class CrossbarSwitch:
         Cut-through: serialization on the input link overlaps with the
         output link, so total wire occupancy is charged once (here).
         """
+        _, finish = self.traverse_timed(at, out_port, nbytes)
+        return finish
+
+    def traverse_timed(self, at: float, out_port: int,
+                       nbytes: int) -> tuple[float, float]:
+        """Like :meth:`traverse` but also returns when the output port was
+        granted — multi-hop topologies advance the packet head from that
+        grant time (cut-through), not from the drain finish."""
         if not (0 <= out_port < self.ports):
             raise ValueError(f"port {out_port} out of range 0..{self.ports - 1}")
         self.forwarded += 1
-        _, finish = self.out_links[out_port].transmit(at + self.latency_us, nbytes)
-        return finish
+        return self.out_links[out_port].transmit(at + self.latency_us, nbytes)
 
     def port_utilization(self, horizon: float) -> list[float]:
         return [link.utilization(horizon) for link in self.out_links]

@@ -13,6 +13,11 @@ Commands:
     deterministically, written to ``BENCH_smoke.json`` plus
     ``invariant-report.json`` in ``--out``.
 
+``smoke-topo [--jobs N] [--out DIR] [--seed S]``
+    Same contract over the topology/tree-shape registries: every
+    topology crossed with two tree shapes and both builds, written to
+    ``BENCH_topo_smoke.json`` plus ``topo-invariant-report.json``.
+
 (The compare gate lives at ``python -m repro.orchestrate.compare``.)
 """
 
@@ -25,7 +30,8 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .benchjson import write_bench_json
-from .points import SweepPoint, execute_point, smoke_points
+from .points import (SweepPoint, execute_point, smoke_points,
+                     topo_smoke_points)
 from .runner import run_points
 
 
@@ -47,14 +53,14 @@ def _cmd_run_point(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_smoke(args: argparse.Namespace) -> int:
+def _run_smoke_grid(args: argparse.Namespace, name: str, points,
+                    report_name: str) -> int:
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    points = smoke_points(seed=args.seed, iterations=args.iterations)
     results = run_points(points, jobs=args.jobs,
                          progress=lambda line: print(f"  {line}",
                                                      flush=True))
-    bench_path = write_bench_json("smoke", results, directory=out_dir,
+    bench_path = write_bench_json(name, results, directory=out_dir,
                                   jobs=args.jobs)
     report = {
         "schema": 1,
@@ -66,7 +72,7 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
             (r.invariant_report or {}).get("violation_count", 0)
             for r in results),
     }
-    report_path = out_dir / "invariant-report.json"
+    report_path = out_dir / report_name
     report_path.write_text(json.dumps(report, indent=2, sort_keys=True)
                            + "\n")
     print(f"wrote {bench_path} and {report_path}")
@@ -75,6 +81,17 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
               f"{report['violation_count']}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    points = smoke_points(seed=args.seed, iterations=args.iterations)
+    return _run_smoke_grid(args, "smoke", points, "invariant-report.json")
+
+
+def _cmd_smoke_topo(args: argparse.Namespace) -> int:
+    points = topo_smoke_points(seed=args.seed, iterations=args.iterations)
+    return _run_smoke_grid(args, "topo_smoke", points,
+                           "topo-invariant-report.json")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -95,6 +112,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_smoke.add_argument("--iterations", type=int, default=10)
     p_smoke.add_argument("--out", default="ci-artifacts")
 
+    p_topo = sub.add_parser("smoke-topo",
+                            help="topology x tree-shape CI sweep with "
+                                 "invariant collection")
+    p_topo.add_argument("--jobs", type=int, default=2)
+    p_topo.add_argument("--seed", type=int, default=1)
+    p_topo.add_argument("--iterations", type=int, default=8)
+    p_topo.add_argument("--out", default="ci-artifacts")
+
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:
@@ -103,6 +128,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run_point(args)
     if args.command == "smoke":
         return _cmd_smoke(args)
+    if args.command == "smoke-topo":
+        return _cmd_smoke_topo(args)
     parser.print_help()
     return 2
 

@@ -22,9 +22,9 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Optional
 
-from ..config import (AbParams, ClusterConfig, NetParams, NicParams,
-                      NoiseParams, extrapolated_cluster, homogeneous_cluster,
-                      paper_cluster, quiet_cluster)
+from ..config import (AbParams, ClusterConfig, MpiParams, NetParams,
+                      NicParams, NoiseParams, extrapolated_cluster,
+                      homogeneous_cluster, paper_cluster, quiet_cluster)
 from ..mpich.rank import MpiBuild
 
 #: Named cluster factories a ConfigSpec may reference.  Registry-based so
@@ -43,6 +43,7 @@ _OVERRIDE_TYPES = {
     "ab": AbParams,
     "nic": NicParams,
     "net": NetParams,
+    "mpi": MpiParams,
     "noise": NoiseParams,
 }
 
@@ -58,6 +59,7 @@ class ConfigSpec:
     ab: Optional[AbParams] = None
     nic: Optional[NicParams] = None
     net: Optional[NetParams] = None
+    mpi: Optional[MpiParams] = None
     noise: Optional[NoiseParams] = None
 
     def build(self) -> ClusterConfig:
@@ -72,8 +74,9 @@ class ConfigSpec:
         if self.nic is not None:
             config = config.with_nic(self.nic)
         if self.net is not None:
-            from dataclasses import replace
-            config = replace(config, net=self.net)
+            config = config.with_net(self.net)
+        if self.mpi is not None:
+            config = config.with_mpi(self.mpi)
         if self.noise is not None:
             config = config.with_noise(self.noise)
         return config
@@ -230,7 +233,7 @@ def _run_cpu_util(point: SweepPoint, config: ClusterConfig):
         "direct_avg_util_us": r.direct_avg_util_us,
         "signals": float(r.signals),
     }
-    counters = {"events": r.events, "ops": r.ops}
+    counters = dict(r.sim_counters) or {"events": r.events, "ops": r.ops}
     return r, metrics, counters
 
 
@@ -245,7 +248,7 @@ def _run_latency(point: SweepPoint, config: ClusterConfig):
         "one_way_us": r.one_way_us,
         "signals": float(r.signals),
     }
-    counters = {"events": r.events, "ops": r.ops}
+    counters = dict(r.sim_counters) or {"events": r.events, "ops": r.ops}
     return r, metrics, counters
 
 
@@ -295,6 +298,28 @@ def smoke_points(*, seed: int = 1, iterations: int = 10,
                    iterations=iterations,
                    collect_invariants=collect_invariants)
         for size in sizes
+        for build in ("nab", "ab")
+    ]
+
+
+def topo_smoke_points(*, seed: int = 1, iterations: int = 8, size: int = 8,
+                      collect_invariants: bool = True) -> list["SweepPoint"]:
+    """CI smoke grid for the topology/tree-shape registries: every
+    topology crossed with two tree shapes, both builds, under the
+    invariant monitor (INV-FIFO included)."""
+    shapes = (("binomial", 2), ("bine", 2))
+    return [
+        SweepPoint(
+            experiment="topo_smoke", kind="cpu_util",
+            config=ConfigSpec(
+                "paper", size, seed,
+                net=NetParams(topology=topo),
+                mpi=MpiParams(tree_shape=shape, tree_radix=radix)),
+            build=build, elements=4, max_skew_us=1000.0,
+            iterations=iterations,
+            collect_invariants=collect_invariants)
+        for topo in ("crossbar", "fattree", "torus")
+        for shape, radix in shapes
         for build in ("nab", "ab")
     ]
 

@@ -34,10 +34,17 @@ class Simulator:
         #: repro.analysis.invariants); empty in production runs so the
         #: hot loop pays a single falsy check.
         self.monitors: list = []
+        #: Extra counter providers (callables returning dicts) merged into
+        #: :meth:`counters` — e.g. the fabric's per-hop network counters.
+        self._counter_sources: list = []
 
     def add_monitor(self, monitor) -> None:
         """Register an invariant monitor's ``on_event`` hook."""
         self.monitors.append(monitor)
+
+    def add_counter_source(self, source) -> None:
+        """Register a zero-arg callable whose dict extends :meth:`counters`."""
+        self._counter_sources.append(source)
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -121,15 +128,18 @@ class Simulator:
     def live_process_count(self) -> int:
         return self._live_processes
 
-    def counters(self) -> dict[str, int]:
+    def counters(self) -> dict:
         """Per-run work counters (events popped, process-driver ops,
         processes spawned) — the denominator side of the orchestrator's
         wall-time metrics (events/second across a sweep)."""
-        return {
+        out = {
             "events": self.events_processed,
             "ops": self.ops_executed,
             "processes": self.processes_spawned,
         }
+        for source in self._counter_sources:
+            out.update(source())
+        return out
 
     # ------------------------------------------------------------------
     # the process driver

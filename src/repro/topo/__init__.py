@@ -1,0 +1,46 @@
+"""repro.topo — pluggable interconnect topologies and reduction-tree shapes.
+
+Two registries extend the simulator past the paper's fixed testbed:
+
+* :data:`TOPOLOGIES` / :func:`make_topology` — how packets move between
+  hosts (``NetParams.topology``): the paper's single crossbar, a
+  two-level fat-tree with configurable oversubscription, a 2D torus with
+  dimension-order routing.
+* :data:`TREE_SHAPES` / :func:`make_tree_shape` — how collectives and
+  the AB engines arrange ranks (``MpiParams.tree_shape`` /
+  ``tree_radix``): binomial (default), k-nomial, pipelined chain, bine.
+
+See DESIGN.md ("repro.topo") for the interfaces, the FIFO-across-hops
+argument, and the registry extension guide.
+"""
+
+from .base import TOPOLOGIES, Topology, make_topology, register_topology
+from .crossbar import CrossbarTopology
+from .fattree import FatTreeTopology
+from .torus import TorusTopology
+from .trees import (
+    TREE_SHAPES,
+    BineTree,
+    BinomialTree,
+    ChainTree,
+    KnomialTree,
+    TreeShape,
+    make_tree_shape,
+)
+
+__all__ = [
+    "TOPOLOGIES",
+    "Topology",
+    "make_topology",
+    "register_topology",
+    "CrossbarTopology",
+    "FatTreeTopology",
+    "TorusTopology",
+    "TREE_SHAPES",
+    "TreeShape",
+    "make_tree_shape",
+    "BinomialTree",
+    "KnomialTree",
+    "ChainTree",
+    "BineTree",
+]

@@ -3,7 +3,8 @@ the full-size runs live in benchmarks/)."""
 
 import pytest
 
-from repro.experiments import ablations, fig6, fig7, fig8, fig9, fig10
+from repro.experiments import ablations, fig6, fig7, fig8, fig9, fig10, \
+    fig_topo
 from repro.experiments.fig8 import crossover_size
 
 
@@ -40,6 +41,25 @@ def test_fig10_driver_small():
     out = fig10.run(size=8, element_sizes=(1, 64), iterations=10, seed=1)
     nab = out.tables[0]._find("nab").values
     assert nab[1] > nab[0]
+
+
+def test_fig_topo_driver_small():
+    out = fig_topo.run(size=8, elements=4,
+                       topologies=("crossbar", "torus"),
+                       shapes=(("binomial", 2), ("chain", 2)),
+                       skews=(0.0, 500.0), iterations=8, seed=1)
+    table = out.tables[0]
+    # one series per (topology, shape, build) combination
+    assert len(table.series) == 2 * 2 * 2
+    # AB beats nab at high skew on every topology/shape combination
+    for topo in ("crossbar", "torus"):
+        for shape in ("binomial", "chain"):
+            nab = table._find(f"{topo}/{shape}-nab").values
+            ab = table._find(f"{topo}/{shape}-ab").values
+            assert nab[-1] > ab[-1]
+    assert any("AB factor of improvement" in n for n in out.notes)
+    assert any("invariant violations" in n and n.endswith(": 0")
+               for n in out.notes)
 
 
 def test_crossover_size_helper():

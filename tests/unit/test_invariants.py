@@ -104,6 +104,57 @@ def test_assert_mode_clock_violation_carries_report():
 
 
 # ----------------------------------------------------------------------
+# INV-FIFO
+# ----------------------------------------------------------------------
+def test_catches_non_monotonic_per_pair_delivery():
+    monitor = InvariantMonitor(mode=COLLECT)
+    monitor.on_delivery(0, 1, 5.0, 0.0)
+    monitor.on_delivery(0, 1, 6.0, 0.0)     # advancing is fine
+    monitor.on_delivery(2, 1, 5.5, 0.0)     # other pairs are independent
+    assert monitor.ok
+    monitor.on_delivery(0, 1, 6.0, 0.0)     # equal arrival: reordering risk
+    assert [v.invariant for v in monitor.violations] == ["INV-FIFO"]
+    violation = monitor.violations[0]
+    assert violation.node == 1
+    assert "FIFO" in violation.detail
+    assert violation.context["src"] == 0
+
+
+def test_fifo_violation_raises_in_assert_mode():
+    monitor = InvariantMonitor(mode=ASSERT)
+    monitor.on_delivery(3, 0, 2.0, 0.0)
+    with pytest.raises(InvariantViolation) as exc:
+        monitor.on_delivery(3, 0, 1.0, 0.0)
+    assert "INV-FIFO" in str(exc.value)
+
+
+def test_attach_wires_the_fabric_delivery_hook():
+    monitor = InvariantMonitor(mode=COLLECT)
+    cluster = Cluster(quiet_cluster(4, seed=0), monitor=monitor)
+    assert cluster.fabric.monitor is monitor
+
+
+@pytest.mark.parametrize("topology", ["crossbar", "fattree", "torus"])
+def test_multi_hop_runs_are_fifo_clean(topology):
+    """Every topology must uphold per-pair FIFO end to end (Sec. IV-D)."""
+    from repro.config import NetParams
+
+    def program(mpi):
+        result = yield from mpi.reduce(contribution(mpi.rank, 4), op=SUM,
+                                       root=0)
+        yield from mpi.barrier()
+        return result
+
+    cfg = quiet_cluster(8, seed=0).with_net(
+        NetParams(topology=topology, fattree_hosts_per_switch=4))
+    monitor = InvariantMonitor(mode=ASSERT)
+    cluster = Cluster(cfg, monitor=monitor)
+    run_program(cluster, program, build=MpiBuild.AB)
+    assert monitor.ok
+    assert monitor._fifo_last            # the hook saw real deliveries
+
+
+# ----------------------------------------------------------------------
 # INV-COPY
 # ----------------------------------------------------------------------
 def test_per_message_copy_counts():

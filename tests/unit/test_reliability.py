@@ -133,3 +133,95 @@ def _one_msg(mpi):
         yield from mpi.recv(buf, 0)
     yield from mpi.barrier()
     return None
+
+
+# ---------------------------------------------------------------------------
+# go-back-N window behaviour under duplicate / stale cumulative ACKs
+# ---------------------------------------------------------------------------
+
+class FakeNic:
+    """Just enough NIC surface for a bare ReliableChannel."""
+
+    def __init__(self, sim, node_id):
+        self.sim = sim
+        self.node_id = node_id
+        self.control_sent = []
+        self.retransmitted = []
+
+    def transmit_control(self, packet):
+        self.control_sent.append(packet)
+
+    def retransmit(self, packet):
+        self.retransmitted.append(packet)
+
+
+def make_channel(node_id=1, rto=100.0):
+    from repro.gm.reliability import ReliableChannel
+    from repro.sim.simulator import Simulator
+    sim = Simulator()
+    nic = FakeNic(sim, node_id)
+    return sim, nic, ReliableChannel(nic, rto)
+
+
+def data_packet(src, dst, gseq):
+    pkt = Packet(src, dst, PacketType.EAGER, 8, None)
+    pkt.gseq = gseq
+    return pkt
+
+
+def test_duplicate_data_packet_discarded_and_reacked():
+    _, nic, channel = make_channel(node_id=1)
+    assert channel.accept(data_packet(0, 1, 0))
+    assert channel.accept(data_packet(0, 1, 1))
+    # the duplicate is dropped but still re-ACKs the cumulative high mark,
+    # so a sender whose ACK got lost can drain its window
+    assert not channel.accept(data_packet(0, 1, 0))
+    assert channel.stats.duplicates_discarded == 1
+    assert nic.control_sent[-1].payload.acked_seq == 1
+    # in-order delivery resumes exactly where it left off
+    assert channel.accept(data_packet(0, 1, 2))
+
+
+def test_gap_discard_reacks_last_in_order():
+    _, nic, channel = make_channel(node_id=1)
+    assert channel.accept(data_packet(0, 1, 0))
+    # seq 1 was lost on the wire: seq 2 implies a gap and must not deliver
+    assert not channel.accept(data_packet(0, 1, 2))
+    assert channel.stats.gaps_discarded == 1
+    assert nic.control_sent[-1].payload.acked_seq == 0
+
+
+def test_stale_cumulative_ack_is_a_noop():
+    _, _, channel = make_channel(node_id=0)
+    packets = [data_packet(0, 1, -1) for _ in range(3)]
+    for pkt in packets:
+        channel.register_send(pkt)
+    assert [pkt.gseq for pkt in packets] == [0, 1, 2]
+    channel.handle_ack(1, 1)            # cumulative: clears 0 and 1
+    peer = channel._tx[1]
+    assert [entry[0] for entry in peer.unacked] == [2]
+    channel.handle_ack(1, 0)            # stale ACK arrives late
+    channel.handle_ack(1, 1)            # duplicate of the cumulative ACK
+    assert [entry[0] for entry in peer.unacked] == [2]
+    channel.handle_ack(1, 2)
+    assert not peer.unacked
+    channel.handle_ack(1, 2)            # duplicate after the window drained
+    assert not peer.unacked
+    assert channel.stats.acks_received == 5
+    channel.handle_ack(9, 0)            # ACK from a peer never sent to
+
+
+def test_goback_n_retransmits_only_the_unacked_window():
+    sim, nic, channel = make_channel(node_id=0, rto=100.0)
+    first = data_packet(0, 1, -1)
+    second = data_packet(0, 1, -1)
+    channel.register_send(first)
+    channel.register_send(second)
+    channel.handle_ack(1, 0)            # first ACKed before the timeout
+    # ACK the survivor once the timer has fired so the channel quiesces
+    sim.at(150.0, channel.handle_ack, 1, 1)
+    sim.run()
+    assert nic.retransmitted == [second]
+    assert channel.stats.retransmissions == 1
+    assert channel.stats.timer_fires == 1
+    assert not channel._tx[1].unacked

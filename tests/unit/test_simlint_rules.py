@@ -239,6 +239,67 @@ def test_sim000_syntax_error(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# SIM007 — direct switch/link construction outside topo/network
+# ----------------------------------------------------------------------
+def test_sim007_direct_construction_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.network.link import Link
+        from repro.network.switch import CrossbarSwitch
+
+        def build(params, nodes):
+            sw = CrossbarSwitch(nodes, 0.35, 250.0)
+            tx = Link("tx", 250.0)
+            return sw, tx
+    """, relpath="repro/core/bad.py")
+    assert rules_of(findings) == ["SIM007", "SIM007"]
+    assert "make_topology" in findings[0].message
+
+
+def test_sim007_attribute_call_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.network import switch
+
+        def build(nodes):
+            return switch.CrossbarSwitch(nodes, 0.35, 250.0)
+    """, relpath="repro/cluster/bad.py")
+    assert rules_of(findings) == ["SIM007"]
+
+
+def test_sim007_topo_and_network_packages_allowed(tmp_path):
+    source = """
+        from repro.network.link import Link
+        from repro.network.switch import CrossbarSwitch
+
+        def build(nodes):
+            return CrossbarSwitch(nodes, 0.35, 250.0), Link("l", 250.0)
+    """
+    assert lint_source(tmp_path, source,
+                       relpath="repro/topo/custom.py") == []
+    assert lint_source(tmp_path, source,
+                       relpath="repro/network/fabric2.py") == []
+
+
+def test_sim007_unrelated_same_named_class_not_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        import reportlib
+
+        def render():
+            return reportlib.chart.Link("a", "b")
+    """, relpath="repro/core/render.py")
+    assert findings == []
+
+
+def test_sim007_pragma_suppression(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.network.link import Link
+
+        def probe():
+            return Link("l", 1.0)  # simlint: ignore[SIM007]
+    """, relpath="repro/core/probe.py")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # configuration
 # ----------------------------------------------------------------------
 def test_select_restricts_rules(tmp_path):
