@@ -1,0 +1,63 @@
+"""fault-injection benchmark: the repro.faults subsystem under the
+orchestrator's determinism contract.
+
+Runs the faults smoke grid (one scenario per injector plus a fault-free
+baseline) twice — serially and through the process pool — and asserts
+bit-identical metrics and counters, correct surviving-rank results for
+every scenario, a violation-free invariant report (INV-FAULT included),
+and a clean self-compare of the emitted BENCH_faults_smoke.json.
+"""
+
+import pytest
+
+from repro.orchestrate.benchjson import load_bench_json
+from repro.orchestrate.compare import compare_payloads
+from repro.orchestrate.points import faults_smoke_points
+from repro.orchestrate.runner import run_points
+
+from conftest import JOBS, SEED, iters, run_once, save_bench_json
+
+pytestmark = pytest.mark.smoke
+
+
+def test_faults_parallel_merge_matches_serial(benchmark):
+    jobs = max(2, JOBS)
+    points = faults_smoke_points(seed=SEED, iterations=iters(6, 7))
+    serial = run_points(points, jobs=1)
+
+    def run():
+        return run_points(points, jobs=jobs)
+
+    parallel = run_once(benchmark, run)
+    # bit-identical across --jobs, fault schedules and recovery included
+    assert [r.point.key() for r in parallel] == \
+        [r.point.key() for r in serial]
+    assert [r.metrics for r in parallel] == [r.metrics for r in serial]
+    assert [r.counters for r in parallel] == [r.counters for r in serial]
+    # every scenario finished with the surviving-rank answer
+    assert all(r.metrics["survivor_ok"] == 1.0 for r in parallel)
+    # the whole grid ran under the invariant monitor (INV-FAULT included)
+    assert all((r.invariant_report or {}).get("violation_count", 0) == 0
+               for r in parallel)
+    # the grid as a whole injected faults; the time-scheduled injectors
+    # (pause, crash) fire deterministically even at smoke iteration
+    # counts, unlike the probabilistic burst-loss trigger
+    armed = [r for r in parallel if r.point.config.faults is not None]
+    assert armed and sum(r.counters["faults_injected"] for r in armed) > 0
+    for r in armed:
+        f = r.point.config.faults
+        if f.pause_rank >= 0:
+            assert r.counters["ranks_paused"] == 1
+        if f.crash_rank >= 0:
+            assert r.counters["ranks_crashed"] == 1
+            assert r.metrics["completed_ranks"] == r.point.config.size - 1
+            if r.metrics["last_result"] != r.metrics["first_result"]:
+                # at least one iteration ran entirely after the crash, so
+                # the victim's child must have been healed out of the tree
+                assert r.counters["subtrees_healed"] >= 1
+
+    path = save_bench_json("faults_smoke", parallel, jobs=jobs)
+    payload = load_bench_json(path)
+    verdict = compare_payloads(payload, payload)
+    assert verdict["ok"]
+    assert verdict["shared_points"] == len(points)

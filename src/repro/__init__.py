@@ -21,8 +21,8 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-figure reproductions.
 """
 
-from .config import (AbParams, ClusterConfig, MachineSpec, NetParams,
-                     NicParams, NoiseParams, NO_NOISE, MpiParams,
+from .config import (AbParams, ClusterConfig, FaultParams, MachineSpec,
+                     NetParams, NicParams, NoiseParams, NO_NOISE, MpiParams,
                      homogeneous_cluster, interlaced_roster, paper_cluster,
                      quiet_cluster)
 from .errors import (AbProtocolError, ConfigError, DeadlockError, GmError,
@@ -37,7 +37,7 @@ __all__ = [
     "__version__",
     # configuration
     "ClusterConfig", "MachineSpec", "NicParams", "NetParams", "MpiParams",
-    "AbParams", "NoiseParams", "NO_NOISE",
+    "AbParams", "NoiseParams", "NO_NOISE", "FaultParams",
     "paper_cluster", "homogeneous_cluster", "quiet_cluster",
     "interlaced_roster",
     # runtime

@@ -34,6 +34,15 @@ and each rank's :class:`~repro.core.engine.AbEngine` and checks:
     reorders a pair's packets — multi-hop topologies (repro.topo) keep
     routes deterministic per pair precisely to preserve this.
 
+``INV-FAULT`` (repro.faults)
+    When a fault schedule is armed, every injected fault is either
+    *recovered* (the run drains normally) or *reported* (the recovery
+    layer filed a fault report: subtree healed, send rerouted, child
+    abandoned).  A live rank left with queued descriptors or unexpected
+    entries at finalize — neither recovered nor reported — violates it.
+    ``INV-DRAIN`` is relaxed *only* for crashed ranks: a fail-stopped
+    process legitimately dies holding state.
+
 Violations are collected into a structured report.  In ``assert`` mode the
 first violation raises :class:`~repro.errors.InvariantViolation`
 immediately (for CI); in ``collect`` mode the run continues and the report
@@ -79,6 +88,9 @@ class InvariantMonitor:
         self._cluster = None
         self._finalized = False
         self._fifo_last: dict[tuple[int, int], float] = {}
+        #: Recovery-layer fault reports (INV-FAULT's "reported" arm).
+        self.fault_reports: list[dict] = []
+        self._faults = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -92,6 +104,7 @@ class InvariantMonitor:
             fabric.monitor = self
         for node in cluster.nodes:
             node.nic.monitor = self
+        self._faults = getattr(cluster, "faults", None)
 
     def register_engine(self, engine) -> None:
         """Called by :class:`AbEngine.__init__` when a monitor is wired."""
@@ -115,6 +128,8 @@ class InvariantMonitor:
             "checks": self.checks,
             "violation_count": len(self.violations),
             "violations": [v.to_dict() for v in self.violations],
+            "fault_report_count": len(self.fault_reports),
+            "fault_reports": list(self.fault_reports),
         }
 
     @property
@@ -199,6 +214,19 @@ class InvariantMonitor:
                 descriptors=len(engine.descriptors),
                 pins=engine.signal_pins)
 
+    def on_fault_report(self, node_id: int, kind: str, now: float,
+                        **context) -> None:
+        """Recovery layer reports a fault it handled or gave up on.
+
+        Reports are *not* violations: INV-FAULT requires every injected
+        fault to be recovered **or** reported, so filing one is how an
+        unrecoverable situation (e.g. a contribution lost with its crashed
+        parent) stays honest instead of silently wrong.
+        """
+        self.checks += 1
+        self.fault_reports.append(
+            {"node": node_id, "kind": kind, "time": now, **context})
+
     def on_ab_message(self, node_id: int, msg_class: str, copies: int,
                       reuse_mpich_queues: bool, now: float) -> None:
         """One AB reduce packet was classified and combined/buffered."""
@@ -224,20 +252,30 @@ class InvariantMonitor:
     def finalize(self) -> dict:
         """End-of-run checks; returns the structured report."""
         self._finalized = True
+        faulted = self._faults is not None
         for node_id, engine in sorted(self._engines.items()):
             now = engine.sim.now
             self.checks += 1
+            if faulted and node_id in self._faults.crashed_ranks(now):
+                # INV-DRAIN relaxed for crashed ranks only: a fail-stopped
+                # process legitimately dies holding descriptors; its state
+                # is frozen garbage, not protocol evidence.
+                continue
             if not engine.descriptors.empty:
                 self.record(
-                    "INV-DRAIN", node_id, now,
+                    "INV-FAULT" if faulted else "INV-DRAIN", node_id, now,
                     f"{len(engine.descriptors)} reduce descriptor(s) still "
-                    f"queued at finalize — a reduction never completed",
+                    f"queued at finalize — a reduction never completed"
+                    + (" (injected fault neither recovered nor reported)"
+                       if faulted else ""),
                     descriptors=len(engine.descriptors))
             if not engine.unexpected.empty:
                 self.record(
-                    "INV-DRAIN", node_id, now,
+                    "INV-FAULT" if faulted else "INV-DRAIN", node_id, now,
                     f"{len(engine.unexpected)} AB unexpected entr(ies) "
-                    f"never consumed at finalize",
+                    f"never consumed at finalize"
+                    + (" (injected fault neither recovered nor reported)"
+                       if faulted else ""),
                     unexpected=len(engine.unexpected))
             if engine.nic.signals_enabled and engine.signal_pins == 0:
                 self.record(

@@ -29,6 +29,10 @@ SIM006    late-binding capture of a loop variable in a callback
 SIM007    direct ``CrossbarSwitch``/``Link`` construction outside the
           ``repro.topo``/``repro.network`` factories (use
           ``NetParams.topology`` + ``repro.topo.make_topology``)
+SIM008    direct ``random``/``time`` stdlib import in simulation-scoped
+          code — fault schedules and recovery timers must stay
+          deterministic and resumable, so randomness goes through
+          ``RngStreams`` named streams and time through the sim clock
 ========  ==============================================================
 
 Detection of dropped SimGens is *two-pass*: pass 1 collects every function
@@ -58,6 +62,7 @@ RULES: dict[str, str] = {
     "SIM005": "mutable default argument",
     "SIM006": "late-binding loop-variable capture in callback",
     "SIM007": "direct switch/link construction outside topo/network factories",
+    "SIM008": "direct random/time stdlib import in simulation-scoped code",
 }
 
 #: repro sub-packages in which SIM002 (determinism) applies.  Everything
@@ -66,8 +71,13 @@ RULES: dict[str, str] = {
 #: host clock.
 SIM_SCOPED_PACKAGES = frozenset({
     "sim", "mpich", "gm", "network", "core", "cluster", "apps", "runtime",
-    "topo",
+    "topo", "faults",
 })
+
+#: SIM008: stdlib modules whose *import* already signals nondeterminism in
+#: simulation-scoped code (calls through them are caught by SIM002; the
+#: import-level rule catches aliasing tricks and dead imports alike).
+_SIM008_MODULES = frozenset({"random", "time"})
 
 #: SIM007: network primitives whose construction belongs to the pluggable
 #: topology layer, and the packages allowed to build them directly.
@@ -201,11 +211,17 @@ class _FileLinter(ast.NodeVisitor):
             return bool(_TIME_NAME.search(node.id))
         return False
 
-    # -- imports -------------------------------------------------------
+    # -- imports (alias tracking + SIM008) -----------------------------
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             self._imports[alias.asname or alias.name.split(".")[0]] = \
                 alias.name
+            if (self.sim_scoped
+                    and alias.name.split(".")[0] in _SIM008_MODULES):
+                self._emit("SIM008", node,
+                           f"`import {alias.name}` in simulation-scoped "
+                           f"code — use `RngStreams` named streams / "
+                           f"`Simulator.now` so runs stay deterministic")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -213,6 +229,13 @@ class _FileLinter(ast.NodeVisitor):
             for alias in node.names:
                 self._from_imports[alias.asname or alias.name] = \
                     f"{node.module}.{alias.name}"
+            if (self.sim_scoped and node.level == 0
+                    and node.module.split(".")[0] in _SIM008_MODULES):
+                self._emit("SIM008", node,
+                           f"`from {node.module} import ...` in "
+                           f"simulation-scoped code — use `RngStreams` "
+                           f"named streams / `Simulator.now` so runs stay "
+                           f"deterministic")
         self.generic_visit(node)
 
     # -- SIM001: dropped SimGen ---------------------------------------

@@ -1,6 +1,7 @@
 """Microbenchmarks reproducing the paper's measurement methodology."""
 
 from .cpu_util import APP_CATEGORIES, CpuUtilResult, cpu_util_benchmark
+from .faulted import FaultReduceResult, fault_reduce_benchmark
 from .latency import LatencyResult, latency_benchmark, measure_one_way
 from .nicred import nicred_cpu_util, nicred_latency
 from .report import Series, Table, summary_line
@@ -11,6 +12,7 @@ from .sweep import (cpu_util_vs_nodes, cpu_util_vs_skew, latency_vs_nodes,
 
 __all__ = [
     "cpu_util_benchmark", "CpuUtilResult", "APP_CATEGORIES",
+    "fault_reduce_benchmark", "FaultReduceResult",
     "latency_benchmark", "LatencyResult", "measure_one_way",
     "nicred_cpu_util", "nicred_latency",
     "SkewModel", "conservative_latency_estimate",

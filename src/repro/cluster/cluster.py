@@ -36,6 +36,18 @@ class Cluster:
         ]
         for node in self.nodes:
             node.rng = self.rng
+        #: Fault schedule (repro.faults); built only when an injector is
+        #: armed, so a default config adds no streams, events or counters.
+        self.faults = None
+        if config.faults.armed:
+            from ..faults import FaultSchedule
+            self.faults = FaultSchedule(config.faults)
+            self.faults.install(self)
+            self.sim.add_counter_source(self.faults.counters)
+        # GM reliability-protocol effort (satellite of the fault work):
+        # exported whenever any NIC runs the go-back-N channel.
+        if any(n.nic.reliable is not None for n in self.nodes):
+            self.sim.add_counter_source(self._reliability_counters)
         #: Protocol-invariant monitor; explicit, or the process-wide
         #: default the test harness installs, or None (production).
         self.monitor = monitor if monitor is not None else \
@@ -56,3 +68,26 @@ class Cluster:
 
     def total_signals(self) -> int:
         return sum(n.nic.stats.signals_raised for n in self.nodes)
+
+    def _reliability_counters(self) -> dict:
+        """Aggregate go-back-N protocol effort across every lossy NIC so
+        BENCH json records how hard reliable delivery worked."""
+        out = {
+            "rel_acks_sent": 0, "rel_acks_received": 0,
+            "rel_retransmissions": 0, "rel_duplicates_discarded": 0,
+            "rel_gaps_discarded": 0, "rel_timer_fires": 0,
+            "rel_max_window": 0,
+        }
+        for node in self.nodes:
+            channel = node.nic.reliable
+            if channel is None:
+                continue
+            s = channel.stats
+            out["rel_acks_sent"] += s.acks_sent
+            out["rel_acks_received"] += s.acks_received
+            out["rel_retransmissions"] += s.retransmissions
+            out["rel_duplicates_discarded"] += s.duplicates_discarded
+            out["rel_gaps_discarded"] += s.gaps_discarded
+            out["rel_timer_fires"] += s.timer_fires
+            out["rel_max_window"] = max(out["rel_max_window"], s.max_window)
+        return out

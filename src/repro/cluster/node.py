@@ -79,6 +79,7 @@ class Node:
             cpu=self.cpu,
             tracer=tracer,
             net_params=config.net,
+            force_reliable=config.faults.burst_prob > 0.0,
         )
         self.pinned = PinnedMemoryManager(config.nic, spec.host_scale())
         #: Collective tree shape shared by MPI collectives and the AB
@@ -88,6 +89,12 @@ class Node:
         #: Deterministic RNG streams; installed by Cluster right after
         #: construction (shared across the whole cluster).
         self.rng = None
+        #: Crash oracle ``(rank, now) -> bool`` installed by an armed
+        #: FaultSchedule; None on fault-free clusters.
+        self.crash_oracle = None
+        #: The AB engine bound to this node's rank, registered by
+        #: AbEngine.__init__ so fault counters can reach its stats.
+        self.ab_engine = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Node {self.id} {self.spec.name}>"

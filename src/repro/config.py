@@ -245,6 +245,114 @@ class NoiseParams:
 NO_NOISE = NoiseParams(base_jitter_us=0.0, spike_prob=0.0, barrier_jitter_us=0.0)
 
 
+@dataclass(frozen=True)
+class FaultParams:
+    """Deterministic fault-injection schedule (see ``repro.faults``).
+
+    Every field defaults to *disarmed*: with a default ``FaultParams`` no
+    injector is instantiated, no extra RNG stream is drawn and no event is
+    scheduled, so the simulation is bit-identical to a build without the
+    fault subsystem.  Each armed injector draws from its own named RNG
+    stream (``faults.<name>``), keeping the baseline streams untouched.
+    """
+
+    # -- packet_loss_burst: correlated drop bursts on the fabric --------
+    #: Probability that any given packet *starts* a loss burst (layered on
+    #: top of the independent Bernoulli ``NetParams.drop_prob``).  Arming
+    #: this forces the GM reliable-delivery protocol on even when
+    #: ``drop_prob`` is zero.
+    burst_prob: float = 0.0
+    #: Packets destroyed per burst (the trigger packet included).
+    burst_len: int = 4
+
+    # -- link_degrade: time-windowed bandwidth/latency degradation ------
+    #: Degradation window [start, end) in simulation microseconds; the
+    #: injector is armed only when the window is non-empty and at least
+    #: one factor exceeds 1.
+    degrade_start_us: float = 0.0
+    degrade_end_us: float = 0.0
+    #: Per-hop latency multiplier inside the window (1.0 = unchanged).
+    degrade_latency_factor: float = 1.0
+    #: Serialization-time multiplier inside the window (1.0 = unchanged).
+    degrade_bandwidth_factor: float = 1.0
+    #: Source nodes whose egress traffic is degraded; empty = every link.
+    degrade_links: tuple = ()
+
+    # -- nic_signal_suppress: swallow AB collective signals -------------
+    #: Node whose NIC stops raising signals during the window (-1 = off).
+    #: The AB engine must survive on the Fig.-3 synchronous path alone.
+    suppress_node: int = -1
+    suppress_start_us: float = 0.0
+    suppress_end_us: float = 0.0
+
+    # -- rank_pause: freeze one rank's CPU (generalized straggler) ------
+    pause_rank: int = -1
+    pause_at_us: float = 0.0
+    pause_duration_us: float = 0.0
+
+    # -- rank_crash: permanent fail-stop mid-run ------------------------
+    crash_rank: int = -1
+    crash_at_us: float = 0.0
+
+    # -- recovery layer (repro.core) ------------------------------------
+    #: Per-descriptor timeout for pending children (0 = recovery off).
+    descriptor_timeout_us: float = 0.0
+    #: Timeouts tolerated before the remaining children are abandoned and
+    #: the partial result is propagated (honestly reported, INV-FAULT).
+    timeout_retries: int = 3
+    #: Reassign a crashed child's subtree to its nearest live ancestor
+    #: using the TreeShape interface (needs the crash schedule's
+    #: deterministic failure oracle; see DESIGN.md §10).
+    tree_heal: bool = False
+
+    def __post_init__(self) -> None:
+        # JSON round trips hand lists back; keep the block hashable.
+        if not isinstance(self.degrade_links, tuple):
+            object.__setattr__(self, "degrade_links",
+                               tuple(self.degrade_links))
+
+    def validate(self) -> None:
+        if not (0.0 <= self.burst_prob <= 1.0):
+            raise ConfigError(f"burst_prob out of range: {self.burst_prob}")
+        if self.burst_len < 1:
+            raise ConfigError(f"burst_len must be >= 1: {self.burst_len}")
+        if self.degrade_end_us < self.degrade_start_us:
+            raise ConfigError("degrade_end_us < degrade_start_us")
+        if (self.degrade_latency_factor < 1.0
+                or self.degrade_bandwidth_factor < 1.0):
+            raise ConfigError("degrade factors must be >= 1.0 (a fault "
+                              "cannot speed the fabric up)")
+        if self.suppress_end_us < self.suppress_start_us:
+            raise ConfigError("suppress_end_us < suppress_start_us")
+        if self.pause_rank >= 0 and self.pause_duration_us <= 0.0:
+            raise ConfigError("pause_rank armed with a non-positive "
+                              "pause_duration_us")
+        if self.descriptor_timeout_us < 0.0:
+            raise ConfigError("descriptor_timeout_us must be >= 0")
+        if self.timeout_retries < 0:
+            raise ConfigError("timeout_retries must be >= 0")
+
+    @property
+    def degrade_armed(self) -> bool:
+        return (self.degrade_end_us > self.degrade_start_us
+                and (self.degrade_latency_factor > 1.0
+                     or self.degrade_bandwidth_factor > 1.0))
+
+    @property
+    def suppress_armed(self) -> bool:
+        return (self.suppress_node >= 0
+                and self.suppress_end_us > self.suppress_start_us)
+
+    @property
+    def armed(self) -> bool:
+        """True when at least one injector would be instantiated."""
+        return (self.burst_prob > 0.0
+                or self.degrade_armed
+                or self.suppress_armed
+                or self.pause_rank >= 0
+                or self.crash_rank >= 0)
+
+
 # ---------------------------------------------------------------------------
 # cluster-level configuration
 # ---------------------------------------------------------------------------
@@ -261,11 +369,13 @@ class ClusterConfig:
     ab: AbParams = AbParams()
     noise: NoiseParams = NoiseParams()
     seed: int = 12345
+    faults: FaultParams = FaultParams()
 
     def __post_init__(self) -> None:
         if len(self.machines) < 1:
             raise ConfigError("cluster needs at least one node")
         self.noise.validate()
+        self.faults.validate()
 
     @property
     def size(self) -> int:
@@ -295,6 +405,9 @@ class ClusterConfig:
 
     def with_mpi(self, mpi: MpiParams) -> "ClusterConfig":
         return replace(self, mpi=mpi)
+
+    def with_faults(self, faults: FaultParams) -> "ClusterConfig":
+        return replace(self, faults=faults)
 
 
 def interlaced_roster(total: int = 32) -> tuple[MachineSpec, ...]:

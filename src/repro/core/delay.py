@@ -6,6 +6,16 @@ each one caught avoids a signal.  Too short a window misses them; too long
 burns CPU that application bypass was supposed to save.  The paper's simple
 scheme scales the window with the number of processes in the reduction; we
 implement that plus fixed and linear variants for the ablation study.
+
+Wall-clock bounding contract: the window computed here is an *absolute*
+deadline (``now + window`` at descriptor creation, see ``AbEngine.reduce``),
+never "linger until the child arrives".  A child frozen by a ``rank_pause``
+fault for longer than the window must therefore cost the lingering parent at
+most the window itself, after which the parent exits and the contribution is
+absorbed asynchronously.  The spinning charge excludes any time the *parent*
+itself spent frozen (``HostCpu.end_poll`` subtracts the frozen span) — the
+regression test in tests/integration/test_fault_injection.py pins both
+properties down.
 """
 
 from __future__ import annotations

@@ -25,11 +25,13 @@ class ReduceDescriptor:
 
     __slots__ = ("context_id", "root_world", "instance", "parent_world",
                  "children_world", "op", "acc", "tag", "_pending",
-                 "created_at", "removed", "sync_children", "async_children")
+                 "created_at", "removed", "sync_children", "async_children",
+                 "comm", "shape", "root", "size", "rel", "timeout_event")
 
     def __init__(self, context_id: int, root_world: int, instance: int,
                  parent_world: int, children_world: list[int], op: Op,
-                 acc: np.ndarray, tag: int, created_at: float):
+                 acc: np.ndarray, tag: int, created_at: float, *,
+                 comm=None, shape=None, root=None, size=None, rel=None):
         if not children_world:
             raise AbProtocolError("descriptor for a node with no children "
                                   "(leaves use the plain send path)")
@@ -48,10 +50,37 @@ class ReduceDescriptor:
         #: (for the skew diagnostics in the reports).
         self.sync_children = 0
         self.async_children = 0
+        #: Tree context for fault recovery (repro.faults tree_heal): with
+        #: these the engine can recompute live subtrees after a crash.
+        #: All None on fault-free descriptors (and in direct-construction
+        #: unit tests).
+        self.comm = comm
+        self.shape = shape
+        self.root = root
+        self.size = size
+        self.rel = rel
+        #: Pending recovery-timer event, cancelled on completion so a
+        #: defunct timer never stretches the simulation's makespan.
+        self.timeout_event = None
 
     # ------------------------------------------------------------------
     def is_pending(self, child_world: int) -> bool:
         return child_world in self._pending
+
+    def adopt(self, dead_child_world: int, adopted_worlds: list[int]) -> None:
+        """Replace a crashed pending child with its live descendants.
+
+        The dead child's slot is dropped; each adopted rank not already a
+        child becomes pending.  The caller re-checks :attr:`complete` (the
+        crashed child may have had no live descendants).
+        """
+        self._pending.discard(dead_child_world)
+        self.children_world = [c for c in self.children_world
+                               if c != dead_child_world]
+        for world in adopted_worlds:
+            if world not in self.children_world:
+                self.children_world.append(world)
+                self._pending.add(world)
 
     def pending_children(self) -> list[int]:
         """Pending children in original (mask) order."""

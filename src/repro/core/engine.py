@@ -59,7 +59,9 @@ class AbStats:
                  "expected_zero_copy", "unexpected_one_copy",
                  "ab_copies", "ab_copied_bytes",
                  "descriptors_completed_sync", "descriptors_completed_async",
-                 "window_expires", "window_catches")
+                 "window_expires", "window_catches",
+                 "descriptors_timed_out", "descriptor_retries",
+                 "subtrees_healed", "children_abandoned", "sends_rerouted")
 
     def __init__(self) -> None:
         self.ab_reduces = 0
@@ -77,6 +79,12 @@ class AbStats:
         self.descriptors_completed_async = 0
         self.window_expires = 0
         self.window_catches = 0
+        # Fault-recovery counters (repro.faults; all zero on healthy runs).
+        self.descriptors_timed_out = 0
+        self.descriptor_retries = 0
+        self.subtrees_healed = 0
+        self.children_abandoned = 0
+        self.sends_rerouted = 0
 
 
 class AbEngine:
@@ -111,6 +119,20 @@ class AbEngine:
         #: MPI_Reduce (Fig. 3).  Children absorbed then count as
         #: synchronous; everything else is the asynchronous component.
         self._sync_depth = 0
+        # Fault-recovery configuration (repro.faults).  At defaults the
+        # timeout is 0 (no timers armed) and healing is off, so the engine
+        # behaves bit-identically to a build without the fault subsystem.
+        rank.node.ab_engine = self
+        faults = getattr(rank.node.config, "faults", None)
+        self._timeout_us = (float(faults.descriptor_timeout_us)
+                            if faults is not None else 0.0)
+        self._timeout_retries = (int(faults.timeout_retries)
+                                 if faults is not None else 0)
+        #: ``(world_rank, now) -> bool`` — the fault schedule's perfect
+        #: failure detector; None on fault-free clusters.
+        self._crash_oracle = getattr(rank.node, "crash_oracle", None)
+        self._heal = bool(faults is not None and faults.tree_heal
+                          and self._crash_oracle is not None)
 
     # ------------------------------------------------------------------
     # signal pinning (extensions)
@@ -187,12 +209,36 @@ class AbEngine:
         shape = self.rank.tree_shape
         kids_rel = shape.children(rel, size)
         header = AbHeader(root=root_world, instance=instance, kind="reduce")
-        if not kids_rel:
-            # Leaf: one AB-framed eager send to the parent; nothing to wait
-            # for (paper: leaves need no optimization, Sec. II).
-            self.stats.leaf_sends += 1
+        if self._heal:
+            # Fault-tolerant construction: crashed subtrees are replaced by
+            # their live fringe, and the parent by its nearest live
+            # ancestor, so the healed tree spans exactly the live ranks.
+            naive_parent = comm.world_rank(
+                tree.absolute_rank(shape.parent(rel, size), root, size))
+            parent_world = self._live_ancestor_world(
+                comm, shape, root, size, shape.parent(rel, size))
+            if parent_world != naive_parent:
+                self.stats.sends_rerouted += 1
+                self._report_fault("send_rerouted", instance=instance,
+                                   parent=parent_world)
+            children_world, healed = self._live_fringe(
+                comm, shape, root, size, kids_rel)
+            if healed:
+                self.stats.subtrees_healed += healed
+                self._report_fault("subtree_healed", instance=instance,
+                                   healed=healed)
+        else:
             parent_world = comm.world_rank(
                 tree.absolute_rank(shape.parent(rel, size), root, size))
+            children_world = [
+                comm.world_rank(tree.absolute_rank(c, root, size))
+                for c in kids_rel
+            ]
+        if not children_world:
+            # Leaf — by tree position, or because every subtree below this
+            # rank crashed: one AB-framed eager send to the parent; nothing
+            # to wait for (paper: leaves need no optimization, Sec. II).
+            self.stats.leaf_sends += 1
             self.rank.progress.start_send(sendbuf, parent_world, TAG_REDUCE,
                                           comm.coll_context, ledger,
                                           ab=header)
@@ -216,22 +262,24 @@ class AbEngine:
 
             acc = np.array(sendbuf, copy=True)
             ledger.charge(self.costs.copy_us(acc.nbytes), "copy")
-            parent_world = comm.world_rank(
-                tree.absolute_rank(shape.parent(rel, size), root, size))
-            children_world = [
-                comm.world_rank(tree.absolute_rank(c, root, size))
-                for c in kids_rel
-            ]
             desc = ReduceDescriptor(
                 context_id=comm.coll_context, root_world=root_world,
                 instance=instance, parent_world=parent_world,
                 children_world=children_world, op=op, acc=acc, tag=TAG_REDUCE,
-                created_at=self.sim.now)
+                created_at=self.sim.now,
+                comm=comm, shape=shape, root=root, size=size, rel=rel)
             ledger.charge(self.costs.ab_descriptor_us, "descriptor")
             self.descriptors.push(desc)
             self.node.tracer.emit("ab.descriptor.enqueue",
                                   node=self.rank.rank, instance=instance,
                                   children=len(children_world))
+            if self._timeout_us > 0.0:
+                # Recovery timer (repro.faults): if children are still
+                # pending when it fires, progress is forced, crashed
+                # subtrees are healed, and after the retry budget the
+                # partial sum is propagated (reported via INV-FAULT).
+                desc.timeout_event = self.sim.schedule(
+                    self._timeout_us, self._on_descriptor_timeout, desc, 1)
 
             # Early arrivals already sit in the AB unexpected queue: consume
             # them directly (their only copy already happened on arrival).
@@ -360,11 +408,27 @@ class AbEngine:
     def _finish(self, desc: ReduceDescriptor, ledger: Ledger,
                 completed_async: bool) -> None:
         """All children handled: send to parent, dequeue, idle the NIC."""
+        if (self._heal and desc.rel is not None
+                and self._crashed(desc.parent_world)):
+            # The parent crashed after this descriptor was built: climb the
+            # tree to the nearest live ancestor (the root never crashes in
+            # the supported fault model).
+            new_parent = self._live_ancestor_world(
+                desc.comm, desc.shape, desc.root, desc.size,
+                desc.shape.parent(desc.rel, desc.size))
+            if new_parent != desc.parent_world:
+                desc.parent_world = new_parent
+                self.stats.sends_rerouted += 1
+                self._report_fault("send_rerouted", instance=desc.instance,
+                                   parent=new_parent)
         header = AbHeader(root=desc.root_world, instance=desc.instance,
                           kind="reduce")
         self.rank.progress.start_send(desc.acc, desc.parent_world, desc.tag,
                                       desc.context_id, ledger, ab=header)
         self.descriptors.remove(desc)
+        if desc.timeout_event is not None:
+            self.sim.cancel(desc.timeout_event)
+            desc.timeout_event = None
         if completed_async:
             self.stats.descriptors_completed_async += 1
         else:
@@ -402,6 +466,118 @@ class AbEngine:
             self._absorb(desc, child, entry.data, ledger)
             if desc.removed:
                 break
+
+    # ==================================================================
+    # fault recovery (repro.faults: descriptor timeouts + tree healing)
+    # ==================================================================
+    def _crashed(self, world_rank: int) -> bool:
+        oracle = self._crash_oracle
+        return oracle is not None and oracle(world_rank, self.sim.now)
+
+    def _live_ancestor_world(self, comm, shape, root: int, size: int,
+                             prel: int) -> int:
+        """World rank of the nearest live ancestor, starting at rel
+        ``prel`` and climbing toward the root (rel 0, assumed live)."""
+        while prel != 0:
+            world = comm.world_rank(tree.absolute_rank(prel, root, size))
+            if not self._crashed(world):
+                return world
+            prel = shape.parent(prel, size)
+        return comm.world_rank(tree.absolute_rank(0, root, size))
+
+    def _live_fringe(self, comm, shape, root: int, size: int,
+                     rels) -> tuple[list[int], int]:
+        """Expand ``rels`` into the live fringe: a live rank stands for its
+        subtree; a crashed rank is replaced by the live fringe of its own
+        children (deterministic depth-first, combine order preserved).
+        Returns ``(world_ranks, crashed_nodes_bypassed)``."""
+        worlds: list[int] = []
+        healed = 0
+        for r in rels:
+            world = comm.world_rank(tree.absolute_rank(r, root, size))
+            if not self._crashed(world):
+                worlds.append(world)
+                continue
+            healed += 1
+            sub, sub_healed = self._live_fringe(
+                comm, shape, root, size, shape.children(r, size))
+            worlds.extend(sub)
+            healed += sub_healed
+        return worlds, healed
+
+    def _on_descriptor_timeout(self, desc: ReduceDescriptor,
+                               attempt: int) -> None:
+        desc.timeout_event = None
+        if desc.removed or self.node.cpu.crashed:
+            return
+        self.stats.descriptors_timed_out += 1
+        self.node.cpu.run_handler(
+            lambda ledger: self._timeout_recover(desc, attempt, ledger))
+
+    def _timeout_recover(self, desc: ReduceDescriptor, attempt: int,
+                         ledger: Ledger) -> None:
+        """Timer body: force progress, heal crashed subtrees, re-arm, and
+        after the retry budget abandon the stragglers (partial sum,
+        honestly reported — availability over completeness)."""
+        if desc.removed:
+            return
+        progress = self.rank.progress
+        if progress.active_depth == 0:
+            # Safe to drain here; if a blocking call is already spinning
+            # (active_depth > 0) it is making progress on our behalf.
+            progress.active_depth += 1
+            try:
+                progress.drain(ledger)
+            finally:
+                progress.active_depth -= 1
+        if desc.removed:
+            return
+        if self._heal:
+            self._heal_descriptor(desc, ledger)
+            if desc.removed:
+                return
+        if attempt < self._timeout_retries:
+            self.stats.descriptor_retries += 1
+            desc.timeout_event = self.sim.schedule(
+                self._timeout_us, self._on_descriptor_timeout, desc,
+                attempt + 1)
+            return
+        for child in desc.pending_children():
+            desc.mark_done(child)
+            self.stats.children_abandoned += 1
+            self._report_fault("child_abandoned", instance=desc.instance,
+                               child=child)
+        self._finish(desc, ledger, completed_async=True)
+
+    def _heal_descriptor(self, desc: ReduceDescriptor,
+                         ledger: Ledger) -> None:
+        """Reassign every crashed pending child's subtree (tree_heal): the
+        crashed child is dropped and its live descendants are adopted as
+        direct children of this rank."""
+        if desc.comm is None:
+            return
+        for child in list(desc.pending_children()):
+            if not self._crashed(child):
+                continue
+            crel = tree.relative_rank(desc.comm.rank_of_world(child),
+                                      desc.root, desc.size)
+            adopted, nested = self._live_fringe(
+                desc.comm, desc.shape, desc.root, desc.size,
+                desc.shape.children(crel, desc.size))
+            desc.adopt(child, adopted)
+            ledger.charge(self.costs.ab_descriptor_us, "descriptor")
+            self.stats.subtrees_healed += 1 + nested
+            self._report_fault("subtree_healed", instance=desc.instance,
+                               child=child, adopted=len(adopted))
+        if desc.complete:
+            self._finish(desc, ledger, completed_async=True)
+            return
+        self._consume_unexpected(desc, ledger)
+
+    def _report_fault(self, kind: str, **context) -> None:
+        if self.monitor is not None:
+            self.monitor.on_fault_report(self.rank.rank, kind,
+                                         self.sim.now, **context)
 
     # ------------------------------------------------------------------
     def _next_instance(self, comm: Communicator) -> int:

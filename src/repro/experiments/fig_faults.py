@@ -1,0 +1,170 @@
+"""fig_faults — reduce completion under injected faults (repro.faults).
+
+The paper measures application bypass on a healthy testbed; this
+experiment asks what the bypass protocol costs — and whether it still
+finishes with the right answer — when the machine misbehaves.  Two
+sweeps over the ``repro.faults`` injector registry:
+
+1. burst packet loss at increasing rates, both builds, on the crossbar
+   and the two-level fat-tree (the GM go-back-N layer must hide every
+   drop bit-exactly);
+2. one scenario per remaining injector (link degradation, NIC signal
+   suppression, a paused rank, a crashed rank healed out of the tree),
+   AB-only where the non-bypass build has no recovery path.
+
+Every point reports the root's final reduction value against the
+surviving-rank expectation and the run makespan; the fault counters land
+in BENCH_fig_faults.json via ``--bench-json``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import FaultParams, NetParams
+from ..orchestrate.points import ConfigSpec, SweepPoint
+from ..orchestrate.runner import run_points
+from ..bench.report import Table
+from .common import (ExperimentOutput, banner, effective_iterations,
+                     make_parser, maybe_write_bench_json, print_progress)
+
+#: Burst-loss sweep: probability that any packet starts a 3-packet burst.
+RATES = (0.0, 0.01, 0.05)
+TOPOLOGIES = ("crossbar", "fattree")
+
+#: One scenario per non-loss injector, on the crossbar.  Crash and
+#: suppression are AB-only: the blocking non-bypass reduce would hang on
+#: a dead rank and never arms NIC signals (see repro.bench.faulted).
+SCENARIOS = (
+    ("degrade",
+     FaultParams(degrade_start_us=200.0, degrade_end_us=1200.0,
+                 degrade_latency_factor=4.0, degrade_bandwidth_factor=3.0),
+     ("nab", "ab")),
+    ("suppress",
+     FaultParams(suppress_node=4, suppress_start_us=0.0,
+                 suppress_end_us=1500.0),
+     ("ab",)),
+    ("pause",
+     FaultParams(pause_rank=2, pause_at_us=300.0, pause_duration_us=800.0),
+     ("nab", "ab")),
+    ("crash+heal",
+     FaultParams(crash_rank=6, crash_at_us=400.0, tree_heal=True,
+                 descriptor_timeout_us=300.0, timeout_retries=2),
+     ("ab",)),
+)
+
+
+def _loss_faults(rate: float) -> Optional[FaultParams]:
+    if rate == 0.0:
+        return None
+    return FaultParams(burst_prob=rate, burst_len=3,
+                       descriptor_timeout_us=20000.0, timeout_retries=3)
+
+
+def _net_for(topo: str) -> NetParams:
+    if topo == "fattree":
+        # Four hosts per leaf switch so the default 8-node run actually
+        # crosses the spine instead of degenerating to one crossbar.
+        return NetParams(topology="fattree", fattree_hosts_per_switch=4)
+    return NetParams(topology=topo)
+
+
+def build_points(*, size: int = 8, elements: int = 4,
+                 rates: Sequence[float] = RATES,
+                 topologies: Sequence[str] = TOPOLOGIES,
+                 scenarios: Sequence[tuple] = SCENARIOS,
+                 iterations: int = 40, seed: int = 1,
+                 collect_invariants: bool = True) -> list[SweepPoint]:
+    """The sweep grid, in the deterministic order the result cursor in
+    :func:`run` expects: the loss sweep first, then the scenarios."""
+    points = [
+        SweepPoint(
+            experiment="fig_faults", kind="fault_reduce",
+            config=ConfigSpec("paper", size, seed,
+                              net=_net_for(topo),
+                              faults=_loss_faults(rate)),
+            build=build, elements=elements, iterations=iterations,
+            collect_invariants=collect_invariants)
+        for topo in topologies
+        for build in ("nab", "ab")
+        for rate in rates
+    ]
+    points += [
+        SweepPoint(
+            experiment="fig_faults", kind="fault_reduce",
+            config=ConfigSpec("paper", size, seed, faults=faults),
+            build=build, elements=elements, iterations=iterations,
+            collect_invariants=collect_invariants)
+        for _label, faults, builds in scenarios
+        for build in builds
+    ]
+    return points
+
+
+def run(*, size: int = 8, elements: int = 4,
+        rates: Sequence[float] = RATES,
+        topologies: Sequence[str] = TOPOLOGIES,
+        scenarios: Sequence[tuple] = SCENARIOS,
+        iterations: int = 40, seed: int = 1, jobs: int = 1,
+        progress=None) -> ExperimentOutput:
+    points = build_points(size=size, elements=elements, rates=rates,
+                          topologies=topologies, scenarios=scenarios,
+                          iterations=iterations, seed=seed)
+    results = run_points(points, jobs=jobs, progress=progress)
+
+    table = Table(
+        f"fig_faults: reduce makespan (us) vs burst loss rate, n={size}",
+        "burst_prob", list(rates))
+    cursor = iter(results)
+    wrong = 0
+    retransmissions = 0
+    for topo in topologies:
+        for build in ("nab", "ab"):
+            res = [next(cursor) for _ in rates]
+            table.add_series(f"{topo}-{build}",
+                             [r.metrics["makespan_us"] for r in res])
+            wrong += sum(1 for r in res if not r.metrics["survivor_ok"])
+            retransmissions += sum(
+                int(r.counters.get("retransmissions", 0)) for r in res)
+
+    out = ExperimentOutput("fig_faults", [table], points=results)
+    scenario_lines = []
+    for label, _faults, builds in scenarios:
+        for build in builds:
+            r = next(cursor)
+            wrong += 0 if r.metrics["survivor_ok"] else 1
+            extras = {k: int(v) for k, v in r.counters.items()
+                      if k in ("subtrees_healed", "descriptors_timed_out",
+                               "signals_suppressed", "ranks_paused")
+                      and v}
+            scenario_lines.append(
+                f"{label}/{build}: makespan {r.metrics['makespan_us']:.0f}us "
+                f"last={r.metrics['last_result']:g} "
+                f"faults={int(r.counters.get('faults_injected', 0))}"
+                + (f" {extras}" if extras else ""))
+    out.notes.extend(scenario_lines)
+    out.notes.append(
+        f"retransmissions across the loss sweep: {retransmissions}")
+    out.notes.append(
+        f"points with a wrong surviving-rank result: {wrong}")
+    violations = sum((r.invariant_report or {}).get("violation_count", 0)
+                     for r in results)
+    out.notes.append(
+        f"invariant violations across the sweep (incl. INV-FAULT): "
+        f"{violations}")
+    return out
+
+
+def main(argv: Optional[list[str]] = None) -> ExperimentOutput:
+    parser = make_parser(__doc__.splitlines()[0], default_iterations=40)
+    args = parser.parse_args(argv)
+    banner("fig_faults: fault type x rate x build x topology sweep")
+    out = run(iterations=effective_iterations(args), seed=args.seed,
+              jobs=args.jobs, progress=print_progress)
+    print(out.render())
+    maybe_write_bench_json(out, args)
+    return out
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,180 @@
+"""The five built-in fault injectors.
+
+Each hooks one existing extension point:
+
+=====================  ====================================================
+``packet_loss_burst``  ``Fabric.drop_hook`` — correlated drop bursts
+``link_degrade``       ``Fabric.transit_penalty`` — windowed slow-down
+``nic_signal_suppress``  ``Nic.signal_suppressor`` — swallow AB signals
+``rank_pause``         ``HostCpu.freeze`` — straggler window
+``rank_crash``         ``HostCpu.crash`` + ``Nic.crash`` — fail-stop
+=====================  ====================================================
+
+All randomness goes through a dedicated named stream
+(``faults.<injector>``) so arming an injector never perturbs the baseline
+streams, and all timing goes through the simulation clock (no stdlib
+``random``/``time`` — enforced by simlint SIM008).
+"""
+
+from __future__ import annotations
+
+from .base import FaultInjector, register_injector
+
+
+@register_injector("packet_loss_burst")
+class PacketLossBurst(FaultInjector):
+    """Correlated loss: one trigger drop destroys the next burst_len-1 too.
+
+    Layered on top of the independent Bernoulli ``NetParams.drop_prob``;
+    arming it forces the GM reliable-delivery protocol on (the Node passes
+    ``force_reliable`` to every NIC) so the traffic survives.
+    """
+
+    def __init__(self, params):
+        super().__init__(params)
+        self._rng = None
+        self._remaining = 0
+
+    @classmethod
+    def armed(cls, params):
+        return params.burst_prob > 0.0
+
+    def install(self, cluster):
+        self._rng = cluster.rng.stream("faults.burst")
+        cluster.fabric.drop_hook = self._should_drop
+
+    def _should_drop(self, packet, src, dst):
+        if self._remaining > 0:
+            self._remaining -= 1
+            self.injected += 1
+            return True
+        if float(self._rng.random()) < self.params.burst_prob:
+            self._remaining = self.params.burst_len - 1
+            self.injected += 1
+            return True
+        return False
+
+    def counters(self):
+        return {"burst_packets_dropped": self.injected}
+
+
+@register_injector("link_degrade")
+class LinkDegrade(FaultInjector):
+    """Time-windowed bandwidth/latency degradation in fabric transit.
+
+    The penalty is added to the topology's arrival time *before* the
+    per-(src,dst) FIFO clamp, so INV-FIFO still holds.  ``degrade_links``
+    restricts the fault to specific source nodes (empty = every link).
+    """
+
+    @classmethod
+    def armed(cls, params):
+        return params.degrade_armed
+
+    def install(self, cluster):
+        self._net = cluster.config.net
+        cluster.fabric.transit_penalty = self._penalty
+
+    def _penalty(self, at, src, dst, wire_bytes):
+        p = self.params
+        if not (p.degrade_start_us <= at < p.degrade_end_us):
+            return 0.0
+        if p.degrade_links and src not in p.degrade_links:
+            return 0.0
+        net = self._net
+        extra = ((wire_bytes / net.link_bytes_per_us)
+                 * (p.degrade_bandwidth_factor - 1.0)
+                 + (net.switch_latency_us + net.cable_latency_us)
+                 * (p.degrade_latency_factor - 1.0))
+        if extra > 0.0:
+            self.injected += 1
+        return extra
+
+    def counters(self):
+        return {"degraded_packets": self.injected}
+
+
+@register_injector("nic_signal_suppress")
+class NicSignalSuppress(FaultInjector):
+    """Swallow AB collective signals on one NIC for a time window.
+
+    The AB engine must make progress on the Fig.-3 synchronous path alone
+    (descriptors drained from inside blocking MPI calls).  At window end the
+    NIC is kicked so a signal suppressed *after* the rank's last blocking
+    call cannot strand packets in the RX queue forever.
+    """
+
+    @classmethod
+    def armed(cls, params):
+        return params.suppress_armed
+
+    def install(self, cluster):
+        p = self.params
+        node = cluster.nodes[p.suppress_node]
+        node.nic.signal_suppressor = self._suppress
+        self._sim = cluster.sim
+        cluster.sim.at(p.suppress_end_us, node.nic.kick_signals)
+
+    def _suppress(self):
+        p = self.params
+        if p.suppress_start_us <= self._sim.now < p.suppress_end_us:
+            self.injected += 1
+            return True
+        return False
+
+    def counters(self):
+        return {"suppress_windows_hit": self.injected}
+
+
+@register_injector("rank_pause")
+class RankPause(FaultInjector):
+    """Freeze one rank's CPU for a window (generalized straggler)."""
+
+    @classmethod
+    def armed(cls, params):
+        return params.pause_rank >= 0
+
+    def install(self, cluster):
+        p = self.params
+        cpu = cluster.nodes[p.pause_rank].cpu
+        cluster.sim.at(p.pause_at_us, self._pause, cpu)
+
+    def _pause(self, cpu):
+        self.injected += 1
+        cpu.freeze(self.params.pause_duration_us)
+
+    def counters(self):
+        return {"ranks_paused": self.injected}
+
+
+@register_injector("rank_crash")
+class RankCrash(FaultInjector):
+    """Permanent fail-stop of one rank mid-run.
+
+    Crashes both the host CPU (process never resumes, pending handlers are
+    discarded) and the NIC (arrivals dropped, reliable-channel timers
+    cancelled).  Every *other* rank's reliable channel marks the crashed
+    peer dead so go-back-N retransmit timers do not spin forever against a
+    silent NIC.
+    """
+
+    @classmethod
+    def armed(cls, params):
+        return params.crash_rank >= 0
+
+    def install(self, cluster):
+        self._cluster = cluster
+        cluster.sim.at(self.params.crash_at_us, self._crash)
+
+    def _crash(self):
+        self.injected += 1
+        victim = self.params.crash_rank
+        node = self._cluster.nodes[victim]
+        node.cpu.crash()
+        node.nic.crash()
+        for other in self._cluster.nodes:
+            if other.id != victim and other.nic.reliable is not None:
+                other.nic.reliable.mark_peer_dead(victim)
+
+    def counters(self):
+        return {"ranks_crashed": self.injected}

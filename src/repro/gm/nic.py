@@ -50,7 +50,8 @@ class NicStats:
 
     __slots__ = ("packets_sent", "packets_received", "bytes_sent",
                  "bytes_received", "signals_raised", "signals_suppressed",
-                 "signal_toggles", "send_token_stalls", "recv_token_stalls")
+                 "signal_toggles", "send_token_stalls", "recv_token_stalls",
+                 "crash_drops")
 
     def __init__(self) -> None:
         self.packets_sent = 0
@@ -64,6 +65,8 @@ class NicStats:
         self.send_token_stalls = 0
         #: Arrivals delayed waiting for a host receive buffer.
         self.recv_token_stalls = 0
+        #: Arrivals discarded because this NIC is crashed (repro.faults).
+        self.crash_drops = 0
 
 
 class Nic:
@@ -73,7 +76,7 @@ class Nic:
                  lanai_scale: float, host_scale: float,
                  dma_bytes_per_us: float, fabric, cpu: HostCpu,
                  tracer: Optional[Tracer] = None,
-                 net_params=None):
+                 net_params=None, force_reliable: bool = False):
         self.sim = sim
         self.node_id = node_id
         self.params = params
@@ -101,12 +104,20 @@ class Nic:
         #: installed, NIC_COLLECTIVE packets are combined on the LANai and
         #: never DMA'd to this host.
         self.collective_unit = None
-        #: GM reliable delivery, engaged only when the fabric is lossy.
+        #: GM reliable delivery, engaged when the fabric is lossy (or a
+        #: fault injector that destroys packets forces it on).
         self.reliable = None
-        if net_params is not None and net_params.drop_prob > 0.0:
+        if net_params is not None and (net_params.drop_prob > 0.0
+                                       or force_reliable):
             from .reliability import ReliableChannel
             self.reliable = ReliableChannel(
                 self, net_params.retransmit_timeout_us)
+        #: Fail-stop flag (repro.faults rank_crash): a crashed NIC drops
+        #: every arrival and never raises another signal.
+        self.crashed = False
+        #: Fault hook (nic_signal_suppress): zero-arg callable; True means
+        #: "swallow this signal".  None on a fault-free NIC.
+        self.signal_suppressor = None
         #: True while a raised signal has not yet been delivered; further
         #: raises coalesce into it (Unix signal semantics — one pending
         #: SIGIO, the handler drains everything that arrived meanwhile).
@@ -201,6 +212,26 @@ class Nic:
         self.signals_enabled = False
 
     # ------------------------------------------------------------------
+    # fault-injection entry points (repro.faults)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop this NIC: drop all future arrivals, cancel timers."""
+        self.crashed = True
+        if self.reliable is not None:
+            self.reliable.shutdown()
+
+    def kick_signals(self) -> None:
+        """Re-raise a signal if AB packets are pending (suppression-window
+        end): a signal swallowed after the rank's last blocking MPI call
+        would otherwise strand those packets in the RX queue forever."""
+        if self.crashed or not self.signals_enabled:
+            return
+        if self._signal_handler is None:
+            return
+        if any(p.ptype is PacketType.AB_COLLECTIVE for p in self.rx_queue):
+            self._schedule_signal()
+
+    # ------------------------------------------------------------------
     # wire-facing internals
     # ------------------------------------------------------------------
     def pop_rx(self) -> Packet:
@@ -217,6 +248,9 @@ class Nic:
         return packet
 
     def _on_wire_arrival(self, packet: Packet, arrival: float) -> None:
+        if self.crashed:
+            self.stats.crash_drops += 1
+            return
         if self.reliable is not None and not self.reliable.accept(packet):
             return  # ACK handled, duplicate, or out-of-order (go-back-N)
         if self._recv_tokens_free <= 0:
@@ -255,6 +289,9 @@ class Nic:
         self.sim.at(done, self._rx_complete, packet)
 
     def _rx_complete(self, packet: Packet) -> None:
+        if self.crashed:
+            self.stats.crash_drops += 1
+            return
         self.rx_queue.append(packet)
         self.stats.packets_received += 1
         self.stats.bytes_received += packet.nbytes
@@ -268,6 +305,9 @@ class Nic:
                 self.stats.signals_suppressed += 1
 
     def _schedule_signal(self) -> None:
+        if self.signal_suppressor is not None and self.signal_suppressor():
+            self.stats.signals_suppressed += 1
+            return
         if self._signal_pending:
             # Coalesce: one pending signal covers every packet that lands
             # before it is delivered (Unix pending-signal semantics).
@@ -278,9 +318,14 @@ class Nic:
 
     def _raise_signal(self) -> None:
         self._signal_pending = False
+        if self.crashed:
+            return
         # Re-check: the host may have disabled signals while the dispatch
         # was in flight (e.g. the synchronous path consumed everything).
         if not self.signals_enabled or self._signal_handler is None:
+            self.stats.signals_suppressed += 1
+            return
+        if self.signal_suppressor is not None and self.signal_suppressor():
             self.stats.signals_suppressed += 1
             return
         self.stats.signals_raised += 1

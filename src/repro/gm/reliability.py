@@ -48,7 +48,8 @@ class _PeerTx:
 
 class ReliabilityStats:
     __slots__ = ("acks_sent", "acks_received", "retransmissions",
-                 "duplicates_discarded", "gaps_discarded", "timer_fires")
+                 "duplicates_discarded", "gaps_discarded", "timer_fires",
+                 "max_window")
 
     def __init__(self) -> None:
         self.acks_sent = 0
@@ -57,6 +58,8 @@ class ReliabilityStats:
         self.duplicates_discarded = 0
         self.gaps_discarded = 0
         self.timer_fires = 0
+        #: High-water mark of the unacked (go-back-N) window, any peer.
+        self.max_window = 0
 
 
 class ReliableChannel:
@@ -68,6 +71,10 @@ class ReliableChannel:
         self.rto_us = rto_us
         self._tx: dict[int, _PeerTx] = {}
         self._rx_expected: dict[int, int] = {}
+        #: Peers known crashed (repro.faults): sends toward them are still
+        #: sequenced but never buffered, so no timer spins against a
+        #: silent NIC.
+        self._dead_peers: set[int] = set()
         self.stats = ReliabilityStats()
 
     # ------------------------------------------------------------------
@@ -78,7 +85,11 @@ class ReliableChannel:
         peer = self._tx.setdefault(packet.dst, _PeerTx())
         packet.gseq = peer.next_seq
         peer.next_seq += 1
+        if packet.dst in self._dead_peers:
+            return  # sequenced for the wire, but no ACK will ever come
         peer.unacked.append([packet.gseq, packet, self.sim.now])
+        if len(peer.unacked) > self.stats.max_window:
+            self.stats.max_window = len(peer.unacked)
         if peer.timer is None:
             peer.timer = self.sim.schedule(self.rto_us, self._check_timer,
                                            packet.dst)
@@ -110,6 +121,29 @@ class ReliableChannel:
             self.stats.retransmissions += 1
             self.nic.retransmit(entry[1])
         peer.timer = self.sim.schedule(self.rto_us, self._check_timer, dst)
+
+    # ------------------------------------------------------------------
+    # fault-injection entry points (repro.faults rank_crash)
+    # ------------------------------------------------------------------
+    def mark_peer_dead(self, dst: int) -> None:
+        """Stop retransmitting toward a crashed peer: cancel its timer and
+        discard the outstanding window (those packets are undeliverable)."""
+        self._dead_peers.add(dst)
+        peer = self._tx.get(dst)
+        if peer is None:
+            return
+        if peer.timer is not None:
+            self.sim.cancel(peer.timer)
+            peer.timer = None
+        peer.unacked.clear()
+
+    def shutdown(self) -> None:
+        """This NIC crashed: cancel every timer, drop every window."""
+        for peer in self._tx.values():
+            if peer.timer is not None:
+                self.sim.cancel(peer.timer)
+                peer.timer = None
+            peer.unacked.clear()
 
     # ------------------------------------------------------------------
     # receiver side

@@ -50,6 +50,10 @@ class Fabric:
         self.host_links = self.topology.host_links
         #: invariant monitor hook (set by InvariantMonitor.attach)
         self.monitor = None
+        #: fault-injection hooks (set by repro.faults injectors); both are
+        #: None on a fault-free fabric and never invoked.
+        self.drop_hook = None
+        self.transit_penalty = None
         self._sinks: list[Optional[DeliveryFn]] = [None] * nodes
         self._last_delivery: dict[tuple[int, int], float] = {}
         self.packets_delivered = 0
@@ -77,11 +81,18 @@ class Fabric:
         wire_bytes = packet.wire_bytes(self.params.header_bytes)
         # Hop-by-hop cut-through timing along the topology's route.
         arrival = self.topology.transit(at, src, dst, wire_bytes)
+        # link_degrade penalty lands before the FIFO clamp so the clamp
+        # still guarantees monotone per-pair delivery (INV-FIFO holds).
+        if self.transit_penalty is not None:
+            arrival += self.transit_penalty(at, src, dst, wire_bytes)
 
         # Fault injection: the bits were clocked onto the wire (occupancy
         # above stands) but never reach the destination.
         if (self.params.drop_prob > 0.0 and
                 float(self.rng.random()) < self.params.drop_prob):
+            self.packets_dropped += 1
+            return arrival
+        if self.drop_hook is not None and self.drop_hook(packet, src, dst):
             self.packets_dropped += 1
             return arrival
 

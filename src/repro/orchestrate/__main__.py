@@ -18,6 +18,12 @@ Commands:
     topology crossed with two tree shapes and both builds, written to
     ``BENCH_topo_smoke.json`` plus ``topo-invariant-report.json``.
 
+``smoke-faults [--jobs N] [--out DIR] [--seed S]``
+    Same contract over the fault-injection registry: one scenario per
+    injector (burst loss, link degrade, signal suppression, rank pause,
+    rank crash with tree healing) plus a fault-free baseline, written to
+    ``BENCH_faults_smoke.json`` plus ``faults-invariant-report.json``.
+
 (The compare gate lives at ``python -m repro.orchestrate.compare``.)
 """
 
@@ -30,8 +36,8 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .benchjson import write_bench_json
-from .points import (SweepPoint, execute_point, smoke_points,
-                     topo_smoke_points)
+from .points import (SweepPoint, execute_point, faults_smoke_points,
+                     smoke_points, topo_smoke_points)
 from .runner import run_points
 
 
@@ -94,6 +100,12 @@ def _cmd_smoke_topo(args: argparse.Namespace) -> int:
                            "topo-invariant-report.json")
 
 
+def _cmd_smoke_faults(args: argparse.Namespace) -> int:
+    points = faults_smoke_points(seed=args.seed, iterations=args.iterations)
+    return _run_smoke_grid(args, "faults_smoke", points,
+                           "faults-invariant-report.json")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.orchestrate",
@@ -120,6 +132,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_topo.add_argument("--iterations", type=int, default=8)
     p_topo.add_argument("--out", default="ci-artifacts")
 
+    p_faults = sub.add_parser("smoke-faults",
+                              help="fault-injection CI sweep with "
+                                   "invariant collection")
+    p_faults.add_argument("--jobs", type=int, default=2)
+    p_faults.add_argument("--seed", type=int, default=1)
+    p_faults.add_argument("--iterations", type=int, default=6)
+    p_faults.add_argument("--out", default="ci-artifacts")
+
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:
@@ -130,6 +150,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_smoke(args)
     if args.command == "smoke-topo":
         return _cmd_smoke_topo(args)
+    if args.command == "smoke-faults":
+        return _cmd_smoke_faults(args)
     parser.print_help()
     return 2
 

@@ -22,9 +22,10 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Optional
 
-from ..config import (AbParams, ClusterConfig, MpiParams, NetParams,
-                      NicParams, NoiseParams, extrapolated_cluster,
-                      homogeneous_cluster, paper_cluster, quiet_cluster)
+from ..config import (AbParams, ClusterConfig, FaultParams, MpiParams,
+                      NetParams, NicParams, NoiseParams,
+                      extrapolated_cluster, homogeneous_cluster,
+                      paper_cluster, quiet_cluster)
 from ..mpich.rank import MpiBuild
 
 #: Named cluster factories a ConfigSpec may reference.  Registry-based so
@@ -45,6 +46,7 @@ _OVERRIDE_TYPES = {
     "net": NetParams,
     "mpi": MpiParams,
     "noise": NoiseParams,
+    "faults": FaultParams,
 }
 
 
@@ -61,6 +63,7 @@ class ConfigSpec:
     net: Optional[NetParams] = None
     mpi: Optional[MpiParams] = None
     noise: Optional[NoiseParams] = None
+    faults: Optional[FaultParams] = None
 
     def build(self) -> ClusterConfig:
         try:
@@ -79,6 +82,8 @@ class ConfigSpec:
             config = config.with_mpi(self.mpi)
         if self.noise is not None:
             config = config.with_noise(self.noise)
+        if self.faults is not None:
+            config = config.with_faults(self.faults)
         return config
 
     def to_dict(self) -> dict:
@@ -267,6 +272,24 @@ def _run_nicred_latency(point: SweepPoint, config: ClusterConfig):
     return lat, {"avg_latency_us": float(lat)}, {}
 
 
+def _run_fault_reduce(point: SweepPoint, config: ClusterConfig):
+    from ..bench.faulted import fault_reduce_benchmark
+    r = fault_reduce_benchmark(
+        config, build_from_tag(point.build), elements=point.elements,
+        iterations=point.iterations,
+        gap_us=float(point.options.get("gap_us", 200.0)))
+    metrics = {
+        "first_result": r.first_result,
+        "last_result": r.last_result,
+        "completed_ranks": float(r.completed_ranks),
+        "survivor_ok": float(r.survivor_ok),
+        "makespan_us": r.makespan_us,
+        "signals": float(r.signals),
+    }
+    counters = dict(r.sim_counters) or {"events": r.events, "ops": r.ops}
+    return r, metrics, counters
+
+
 def _run_chaos(point: SweepPoint, config: ClusterConfig):
     """Deliberately unreliable executor for exercising the retry path
     (tests and fault drills only).  Fails until a counter file records
@@ -324,11 +347,63 @@ def topo_smoke_points(*, seed: int = 1, iterations: int = 8, size: int = 8,
     ]
 
 
+def faults_smoke_points(*, seed: int = 1, iterations: int = 6,
+                        size: int = 8,
+                        collect_invariants: bool = True
+                        ) -> list["SweepPoint"]:
+    """CI smoke grid for the fault-injection subsystem: one scenario per
+    injector (plus a fault-free baseline), mostly on the crossbar with one
+    fattree cross-check.  Crash scenarios are AB-only — the blocking
+    non-bypass reduce has no recovery layer and would hang on the victim
+    (see ``repro.bench.faulted``); suppression is AB-only because the
+    non-bypass build never arms NIC signals."""
+    scenarios = [
+        # (tag, FaultParams, net override or None, builds)
+        ("baseline", None, None, ("nab", "ab")),
+        ("burst",
+         FaultParams(burst_prob=0.02, burst_len=3,
+                     descriptor_timeout_us=20000.0, timeout_retries=3),
+         None, ("nab", "ab")),
+        ("burst_fattree",
+         FaultParams(burst_prob=0.02, burst_len=3,
+                     descriptor_timeout_us=20000.0, timeout_retries=3),
+         NetParams(topology="fattree", fattree_hosts_per_switch=4),
+         ("ab",)),
+        ("degrade",
+         FaultParams(degrade_start_us=200.0, degrade_end_us=1200.0,
+                     degrade_latency_factor=4.0,
+                     degrade_bandwidth_factor=3.0),
+         None, ("nab", "ab")),
+        ("suppress",
+         FaultParams(suppress_node=4, suppress_start_us=0.0,
+                     suppress_end_us=1500.0),
+         None, ("ab",)),
+        ("pause",
+         FaultParams(pause_rank=2, pause_at_us=300.0,
+                     pause_duration_us=800.0),
+         None, ("nab", "ab")),
+        ("crash",
+         FaultParams(crash_rank=6, crash_at_us=400.0, tree_heal=True,
+                     descriptor_timeout_us=300.0, timeout_retries=2),
+         None, ("ab",)),
+    ]
+    return [
+        SweepPoint(
+            experiment="faults_smoke", kind="fault_reduce",
+            config=ConfigSpec("paper", size, seed, net=net, faults=faults),
+            build=build, elements=4, iterations=iterations,
+            collect_invariants=collect_invariants)
+        for _tag, faults, net, builds in scenarios
+        for build in builds
+    ]
+
+
 KINDS: dict[str, Callable] = {
     "cpu_util": _run_cpu_util,
     "latency": _run_latency,
     "nicred_cpu_util": _run_nicred_cpu,
     "nicred_latency": _run_nicred_latency,
+    "fault_reduce": _run_fault_reduce,
     "chaos": _run_chaos,
 }
 

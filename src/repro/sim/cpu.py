@@ -78,6 +78,7 @@ class HostCpu:
         "_poll_start", "_poll_category", "_pending_handlers",
         "preemptions", "deferred_handlers", "handler_runs",
         "_interrupt_penalty",
+        "crashed", "_frozen_until", "_poll_frozen_us",
     )
 
     def __init__(self, sim, name: str = "cpu"):
@@ -100,6 +101,12 @@ class HostCpu:
         # chose to ignore (progress already underway): the interrupt still
         # stole the CPU, so the interrupted poll/work segment finishes late.
         self._interrupt_penalty = 0.0
+        # Fault injection (repro.faults): fail-stop flag, the wall-clock
+        # end of an active rank_pause freeze, and how much of the current
+        # poll interval was spent frozen (not billable as spinning).
+        self.crashed = False
+        self._frozen_until = 0.0
+        self._poll_frozen_us = 0.0
 
     # ------------------------------------------------------------------
     # accounting
@@ -136,7 +143,8 @@ class HostCpu:
         self.state = BUSY
         self._segment = (duration, category, charges)
         self._resume_cb = resume
-        self._wake_time = self.sim.now + duration
+        # A frozen CPU (rank_pause) cannot start work until it thaws.
+        self._wake_time = max(self.sim.now, self._frozen_until) + duration
         self._wake_event = self.sim.at(self._wake_time, self._busy_done)
 
     def begin_compute(self, duration: float, category: str,
@@ -146,7 +154,7 @@ class HostCpu:
         self.state = COMPUTE
         self._segment = (duration, category, None)
         self._resume_cb = resume
-        self._wake_time = self.sim.now + duration
+        self._wake_time = max(self.sim.now, self._frozen_until) + duration
         self._wake_event = self.sim.at(self._wake_time, self._compute_done)
 
     def begin_poll(self, category: str) -> None:
@@ -155,12 +163,20 @@ class HostCpu:
         self.state = POLL
         self._poll_start = self.sim.now
         self._poll_category = category
+        # Any still-active freeze overlaps the front of this poll interval.
+        self._poll_frozen_us = max(0.0, self._frozen_until - self.sim.now)
 
     def end_poll(self) -> None:
-        """Leave the polling state, charging the whole spun interval."""
+        """Leave the polling state, charging the spun interval.
+
+        Time spent frozen by a ``rank_pause`` fault is wall-clock waiting,
+        not CPU spinning, and is excluded from the charge.
+        """
         if self.state != POLL:
             raise RuntimeError(f"end_poll in state {self.state}")
-        self.charge(self.sim.now - self._poll_start, self._poll_category)
+        spun = self.sim.now - self._poll_start - self._poll_frozen_us
+        self.charge(max(0.0, spun), self._poll_category)
+        self._poll_frozen_us = 0.0
         self.state = IDLE
 
     # ------------------------------------------------------------------
@@ -183,6 +199,44 @@ class HostCpu:
         return penalty
 
     # ------------------------------------------------------------------
+    # fault-injection entry points (repro.faults)
+    # ------------------------------------------------------------------
+    def freeze(self, duration: float) -> None:
+        """Stop this CPU for ``duration`` us (rank_pause straggler fault).
+
+        An active BUSY/COMPUTE segment finishes ``duration`` later; an
+        idle or polling CPU defers handlers and new segments until the
+        thaw.  Frozen poll time is excluded from the poll charge — the
+        rank was descheduled, not spinning.
+        """
+        if duration <= 0.0:
+            return
+        self._frozen_until = max(self._frozen_until, self.sim.now + duration)
+        if self.state in (BUSY, COMPUTE):
+            done = (self._busy_done if self.state == BUSY
+                    else self._compute_done)
+            self.sim.cancel(self._wake_event)
+            self._wake_time += duration
+            self._wake_event = self.sim.at(self._wake_time, done)
+        elif self.state == POLL:
+            self._poll_frozen_us += duration
+
+    def crash(self) -> None:
+        """Fail-stop this CPU: the process never runs again, pending work
+        and deferred handlers are discarded (rank_crash fault)."""
+        self.crashed = True
+        if self._wake_event is not None:
+            self.sim.cancel(self._wake_event)
+            self._wake_event = None
+        self._segment = None
+        self._resume_cb = None
+        self._pending_handlers.clear()
+
+    def thaw_delay(self) -> float:
+        """Remaining freeze time; delays poll wake-ups (see Simulator)."""
+        return max(0.0, self._frozen_until - self.sim.now)
+
+    # ------------------------------------------------------------------
     # signal delivery
     # ------------------------------------------------------------------
     def run_handler(self, handler: Callable[[Ledger], None]) -> None:
@@ -193,6 +247,13 @@ class HostCpu:
         preempted a ``COMPUTE`` segment, pushes that segment's completion out
         by the same amount.
         """
+        if self.crashed:
+            return
+        if self._frozen_until > self.sim.now and self.state != BUSY:
+            # Frozen CPU: the kernel holds the signal until the thaw (a
+            # BUSY segment already defers below and its end was pushed out).
+            self.sim.at(self._frozen_until, self.run_handler, handler)
+            return
         if self.state == BUSY:
             # Non-interruptible work: defer until the segment completes.
             self._pending_handlers.append(handler)

@@ -113,7 +113,12 @@ class Simulator:
             processed += 1
         self.events_processed += processed
         if error_on_deadlock and until is None and max_events is None:
-            blocked = [p.name for p in self.processes if not p.done]
+            # Processes whose CPU fail-stopped (repro.faults rank_crash)
+            # are dead by design, not deadlocked.
+            blocked = [p.name for p in self.processes
+                       if not p.done
+                       and not (p.cpu is not None
+                                and getattr(p.cpu, "crashed", False))]
             if blocked:
                 raise DeadlockError(blocked)
         return self.now
@@ -147,6 +152,8 @@ class Simulator:
     def _step(self, proc: SimProcess, value: Any = None) -> None:
         if proc.done:
             return
+        if proc.cpu is not None and getattr(proc.cpu, "crashed", False):
+            return  # fail-stopped rank: the process never advances again
         self.ops_executed += 1
         try:
             cmd = proc.gen.send(value)
@@ -185,9 +192,14 @@ class Simulator:
                 cpu.begin_poll(cmd.poll_category)
 
                 def _poll_woken(val: Any, _cpu=cpu, _proc=proc) -> None:
+                    if getattr(_cpu, "crashed", False):
+                        return
                     # Signals ignored while spinning still stole the CPU:
                     # the poller notices the wake-up late by that much.
-                    penalty = _cpu.consume_interrupt_penalty()
+                    # A frozen CPU (rank_pause) additionally cannot notice
+                    # the wake-up until it thaws.
+                    penalty = (_cpu.consume_interrupt_penalty()
+                               + _cpu.thaw_delay())
 
                     def _resume() -> None:
                         _cpu.end_poll()

@@ -1,0 +1,178 @@
+"""End-to-end fault-injection scenarios (repro.faults).
+
+The acceptance suite for the fault subsystem: application-bypass reduce
+must survive combined data+ACK packet loss bit-exactly, route around a
+crashed rank at 32-rank scale via tree healing, keep the exit-delay
+linger wall-clock bounded when a child rank is paused for longer than
+the window, and stay deterministic across the orchestrator's process
+pool.  Every run here executes under the autouse ASSERT-mode
+InvariantMonitor (see tests/conftest.py), so any INV-* violation —
+including the INV-FAULT/INV-DRAIN bookkeeping for crashed ranks —
+fails the test by raising.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import MpiBuild, NetParams, quiet_cluster
+from repro.bench.faulted import fault_reduce_benchmark
+from repro.config import AbParams, FaultParams
+from repro.mpich.operations import SUM
+from repro.orchestrate.points import faults_smoke_points
+from repro.orchestrate.runner import run_points
+
+from conftest import contribution, expected_sum, run_ranks
+
+LOSS_RATES = (0.0, 0.05, 0.1, 0.2)
+
+
+# ---------------------------------------------------------------------------
+# combined data + ACK loss: results bit-identical to the loss-free run
+# ---------------------------------------------------------------------------
+
+def _reduce_program(iterations, elements=4):
+    def program(mpi):
+        data = contribution(mpi.rank, elements)
+        collected = []
+        for _ in range(iterations):
+            result = yield from mpi.reduce(data, op=SUM, root=0)
+            if mpi.rank == 0:
+                collected.append(np.array(result, copy=True))
+            yield from mpi.compute(50.0)
+        return collected
+    return program
+
+def test_ab_reduce_bit_identical_across_loss_sweep():
+    """Satellite: go-back-N must hide every drop — data packets, AB
+    headers and ACKs alike — so the root's results are bit-identical to
+    the loss-free answer at every drop probability."""
+    size, iterations = 8, 4
+    baseline = None
+    for prob in LOSS_RATES:
+        config = replace(quiet_cluster(size, seed=13),
+                         net=NetParams(drop_prob=prob,
+                                       retransmit_timeout_us=120.0))
+        out = run_ranks(size, _reduce_program(iterations),
+                        build=MpiBuild.AB, config=config)
+        results = out.results[0]
+        assert len(results) == iterations
+        for got in results:
+            assert np.array_equal(got, expected_sum(size, 4))
+        if prob == 0.0:
+            baseline = results
+            assert out.cluster.nodes[0].nic.reliable is None
+        else:
+            # bit-identical to the loss-free run, not merely approx-equal
+            for got, want in zip(results, baseline):
+                assert np.array_equal(got, want)
+            assert out.cluster.fabric.packets_dropped > 0
+            rel = sum(n.nic.reliable.stats.retransmissions
+                      for n in out.cluster.nodes)
+            assert rel > 0
+
+
+# ---------------------------------------------------------------------------
+# rank_crash + tree_heal at 32-rank scale (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+def test_crash_with_tree_heal_completes_at_32_ranks():
+    """Crash an internal rank (24: children 25, 26, 28) mid-run; the
+    survivors must keep completing reduces with the surviving-rank sum
+    and the orphaned subtrees must be healed onto a live ancestor."""
+    size = 32
+    config = quiet_cluster(size, seed=2).with_faults(
+        FaultParams(crash_rank=24, crash_at_us=900.0, tree_heal=True,
+                    descriptor_timeout_us=300.0, timeout_retries=2))
+    res = fault_reduce_benchmark(config, MpiBuild.AB,
+                                 iterations=6, gap_us=200.0)
+    full = float(size * (size + 1) // 2)          # 528
+    assert res.first_result == full               # pre-crash: everyone
+    assert res.last_result == full - 25.0         # post-crash: survivors
+    assert res.survivor_ok
+    assert res.completed_ranks == size - 1
+    assert res.root_iterations == 6
+    assert res.sim_counters["ranks_crashed"] == 1
+    assert res.sim_counters["subtrees_healed"] >= 1
+    assert res.sim_counters["faults_injected"] == 1
+
+
+# ---------------------------------------------------------------------------
+# rank_pause vs the exit-delay window (regression, satellite)
+# ---------------------------------------------------------------------------
+
+def test_pause_longer_than_exit_delay_window_is_wall_clock_bounded():
+    """A child paused for much longer than the exit-delay window must
+    cost its lingering parent at most the window itself (plus poll
+    granularity), never the full pause: the window is an absolute
+    deadline, and the late contribution is absorbed asynchronously."""
+    size, window, pause = 8, 400.0, 1500.0
+    base = quiet_cluster(size, seed=1)
+    config = replace(
+        base,
+        ab=replace(base.ab, exit_delay_policy="fixed",
+                   exit_delay_coeff_us=window),
+    ).with_faults(FaultParams(pause_rank=5, pause_at_us=50.0,
+                              pause_duration_us=pause))
+    res = fault_reduce_benchmark(config, MpiBuild.AB,
+                                 iterations=1, gap_us=200.0)
+    assert res.survivor_ok
+    assert res.last_result == float(expected_sum(size, 4)[0])
+    assert res.completed_ranks == size
+    # the run stretches past the thaw (the late contribution had to be
+    # absorbed asynchronously) ...
+    assert res.makespan_us >= 50.0 + pause
+    assert res.sim_counters["ranks_paused"] == 1
+
+
+def test_pause_parent_poll_charge_stays_within_window():
+    size, window, pause = 8, 400.0, 1500.0
+    base = quiet_cluster(size, seed=1)
+    config = replace(
+        base,
+        ab=replace(base.ab, exit_delay_policy="fixed",
+                   exit_delay_coeff_us=window),
+    ).with_faults(FaultParams(pause_rank=5, pause_at_us=50.0,
+                              pause_duration_us=pause))
+    out = run_ranks(size, _reduce_program(1), build=MpiBuild.AB,
+                    config=config)
+    assert np.array_equal(out.results[0][0], expected_sum(size, 4))
+    parent_poll = out.cluster.nodes[4].cpu.usage.get("poll", 0.0)
+    assert parent_poll < pause / 2.0
+    assert parent_poll <= window + 50.0
+
+
+# ---------------------------------------------------------------------------
+# link_degrade: slower, never wrong
+# ---------------------------------------------------------------------------
+
+def test_link_degrade_slows_the_run_but_never_the_answer():
+    base = quiet_cluster(8, seed=3)
+    healthy = fault_reduce_benchmark(base, MpiBuild.AB, iterations=4)
+    degraded = fault_reduce_benchmark(
+        base.with_faults(FaultParams(degrade_start_us=0.0,
+                                     degrade_end_us=1.0e6,
+                                     degrade_latency_factor=4.0,
+                                     degrade_bandwidth_factor=3.0)),
+        MpiBuild.AB, iterations=4)
+    assert healthy.survivor_ok and degraded.survivor_ok
+    assert degraded.last_result == healthy.last_result
+    assert degraded.makespan_us > healthy.makespan_us
+    assert degraded.sim_counters["degraded_packets"] > 0
+
+
+# ---------------------------------------------------------------------------
+# orchestrator determinism: the faults grid across the process pool
+# ---------------------------------------------------------------------------
+
+def test_faults_smoke_grid_parallel_matches_serial():
+    points = faults_smoke_points(seed=1, iterations=3)
+    serial = run_points(points, jobs=1)
+    parallel = run_points(points, jobs=2)
+    assert [r.point.key() for r in parallel] == \
+        [r.point.key() for r in serial]
+    assert [r.metrics for r in parallel] == [r.metrics for r in serial]
+    assert [r.counters for r in parallel] == [r.counters for r in serial]
+    assert all(r.metrics["survivor_ok"] == 1.0 for r in serial)
+    assert all((r.invariant_report or {}).get("violation_count", 0) == 0
+               for r in serial)

@@ -128,7 +128,8 @@ def test_sim002_time_and_random(tmp_path):
             d = np.random.default_rng()
             return a, b, c, d
     """)
-    assert rules_of(findings) == ["SIM002"] * 4
+    # The three stdlib time/random imports additionally trip SIM008.
+    assert sorted(rules_of(findings)) == ["SIM002"] * 4 + ["SIM008"] * 3
 
 
 def test_sim002_not_applied_outside_sim_scope(tmp_path):
@@ -143,7 +144,7 @@ def test_sim002_not_applied_outside_sim_scope(tmp_path):
 
 def test_sim002_pragma_suppression(tmp_path):
     findings = lint_source(tmp_path, """
-        import time
+        import time  # simlint: ignore[SIM008]
 
         def f():
             bad = time.time()
@@ -300,6 +301,55 @@ def test_sim007_pragma_suppression(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# SIM008 — random/time stdlib imports in simulation-scoped code
+# ----------------------------------------------------------------------
+def test_sim008_flags_stdlib_imports(tmp_path):
+    findings = lint_source(tmp_path, """
+        import random
+        from time import sleep
+
+        def f():
+            return sleep, random
+    """, relpath="repro/faults/bad.py")
+    assert rules_of(findings) == ["SIM008", "SIM008"]
+    assert "RngStreams" in findings[0].message
+
+
+def test_sim008_aliased_import_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        import random as rnd
+
+        def f():
+            return rnd.random()
+    """)
+    # The alias trips SIM008 at the import and SIM002 at the call.
+    assert sorted(rules_of(findings)) == ["SIM002", "SIM008"]
+
+
+def test_sim008_not_applied_outside_sim_scope(tmp_path):
+    findings = lint_source(tmp_path, """
+        import time
+        import random
+
+        def f():
+            return time, random
+    """, relpath="repro/orchestrate/runner2.py")
+    assert findings == []
+
+
+def test_sim008_numpy_and_relative_imports_clean(tmp_path):
+    findings = lint_source(tmp_path, """
+        import numpy as np
+        from numpy.random import default_rng
+        from .timers import later
+
+        def f():
+            return np, default_rng, later
+    """)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # configuration
 # ----------------------------------------------------------------------
 def test_select_restricts_rules(tmp_path):
@@ -313,7 +363,7 @@ def test_select_restricts_rules(tmp_path):
     """), encoding="utf-8")
     all_findings = Linter().lint_paths([tmp_path])
     only_time = Linter(select={"SIM002"}).lint_paths([tmp_path])
-    assert sorted(rules_of(all_findings)) == ["SIM002", "SIM005"]
+    assert sorted(rules_of(all_findings)) == ["SIM002", "SIM005", "SIM008"]
     assert rules_of(only_time) == ["SIM002"]
 
 
