@@ -2,9 +2,14 @@
 
 Paper headline: latency grows with message size for both builds; the ab
 latency penalty stays positive and roughly constant across sizes.
+
+The sweep is additionally routed through fig10's segment-size axis: a
+second grid extends the message sizes past the paper's range and checks
+where segmented pipelining (repro.pipeline) starts paying off.
 """
 
 import numpy as np
+import pytest
 
 from repro.experiments import fig10
 
@@ -34,3 +39,26 @@ def test_fig10_latency_vs_message_size(benchmark):
     # ...that stays bounded (paper: "fairly constant"); we accept a band
     assert gaps.max() < 30.0
     assert gaps.min() > 2.0
+
+
+@pytest.mark.smoke
+def test_fig10_segment_size_axis(benchmark):
+    """Large messages through the segment axis: small messages are
+    untouched by an armed pipeline (single-chunk plans decline, so the
+    latency is bit-identical), large ones get faster."""
+    def run():
+        return fig10.run(iterations=iters(20), seed=SEED, jobs=JOBS,
+                         element_sizes=(64, 512, 1024),
+                         segment_sizes=(0, 2048))
+
+    out = run_once(benchmark, run)
+    save_table("fig10_segments", out.render())
+    save_bench_json("fig10_segments", out.points)
+    whole, piped = out.tables
+    for build in ("nab", "ab"):
+        base = np.asarray(whole._find(build).values)
+        seg = np.asarray(piped._find(build).values)
+        # 64 elements = 512B: one 2048B chunk, segmentation declines
+        assert seg[0] == base[0]
+        # 1024 elements = 8KiB: four segments pipeline through the tree
+        assert seg[-1] < base[-1]

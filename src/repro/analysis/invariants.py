@@ -34,6 +34,17 @@ and each rank's :class:`~repro.core.engine.AbEngine` and checks:
     reorders a pair's packets — multi-hop topologies (repro.topo) keep
     routes deterministic per pair precisely to preserve this.
 
+``INV-SEGMENT`` (repro.pipeline)
+    Segmented pipelined collectives must conserve segments: every emitted
+    segment (a leaf stream send or an internal forward, identified by
+    ``(dst, context, instance, seg, src)``) is folded **exactly once** at
+    its destination — by a descriptor, the root's synchronous loop, or the
+    split-phase root state.  A duplicate fold is always a violation (a
+    contribution counted twice); an emit that was never folded is a
+    violation unless a crash accounts for it (the source or destination
+    crashed, or the destination abandoned the source after its retry
+    budget — both visible in the fault reports).
+
 ``INV-FAULT`` (repro.faults)
     When a fault schedule is armed, every injected fault is either
     *recovered* (the run drains normally) or *reported* (the recovery
@@ -91,6 +102,11 @@ class InvariantMonitor:
         #: Recovery-layer fault reports (INV-FAULT's "reported" arm).
         self.fault_reports: list[dict] = []
         self._faults = None
+        #: Segment conservation ledgers (INV-SEGMENT, repro.pipeline):
+        #: (dst, context, instance, seg, src) -> count.  Both stay empty on
+        #: unsegmented runs.
+        self._segment_emits: dict[tuple, int] = {}
+        self._segment_folds: dict[tuple, int] = {}
 
     # ------------------------------------------------------------------
     # wiring
@@ -227,6 +243,28 @@ class InvariantMonitor:
         self.fault_reports.append(
             {"node": node_id, "kind": kind, "time": now, **context})
 
+    def on_segment_emit(self, node_id: int, dst: int, context_id: int,
+                        instance: int, seg: int, now: float) -> None:
+        """One segment-tagged AB send left ``node_id`` for ``dst``."""
+        self.checks += 1
+        key = (dst, context_id, instance, seg, node_id)
+        self._segment_emits[key] = self._segment_emits.get(key, 0) + 1
+
+    def on_segment_fold(self, node_id: int, src: int, context_id: int,
+                        instance: int, seg: int, now: float) -> None:
+        """``node_id`` folded ``src``'s contribution for one segment."""
+        self.checks += 1
+        key = (node_id, context_id, instance, seg, src)
+        count = self._segment_folds.get(key, 0) + 1
+        self._segment_folds[key] = count
+        if count > 1:
+            self.record(
+                "INV-SEGMENT", node_id, now,
+                f"segment {seg} of instance {instance} (context "
+                f"{context_id}) from node {src} folded {count} times — a "
+                f"contribution was combined more than once",
+                src=src, instance=instance, seg=seg, count=count)
+
     def on_ab_message(self, node_id: int, msg_class: str, copies: int,
                       reuse_mpich_queues: bool, now: float) -> None:
         """One AB reduce packet was classified and combined/buffered."""
@@ -283,7 +321,50 @@ class InvariantMonitor:
                     "NIC signals still enabled at finalize with no pins "
                     "held and an empty descriptor queue")
             self._check_copy_identity(node_id, engine, now)
+        self._check_segment_conservation()
         return self.report()
+
+    def _check_segment_conservation(self) -> None:
+        """INV-SEGMENT: every emitted segment folded exactly once, or
+        accounted for by a crash report (duplicate folds were flagged at
+        fold time)."""
+        if not self._segment_emits and not self._segment_folds:
+            return
+        now = 0.0
+        if self._engines:
+            now = max(e.sim.now for e in self._engines.values())
+        crashed = (self._faults.crashed_ranks(now)
+                   if self._faults is not None else set())
+        abandoned = {(r["node"], r.get("child"))
+                     for r in self.fault_reports
+                     if r.get("kind") == "child_abandoned"}
+        for key, emits in sorted(self._segment_emits.items()):
+            dst, context_id, instance, seg, src = key
+            folds = self._segment_folds.get(key, 0)
+            self.checks += 1
+            if folds >= emits:
+                continue
+            if src in crashed or dst in crashed or (dst, src) in abandoned:
+                # Crash-accounted: the packet died with a crashed endpoint
+                # or the destination honestly abandoned the sender.
+                continue
+            self.record(
+                "INV-SEGMENT", dst, now,
+                f"segment {seg} of instance {instance} (context "
+                f"{context_id}) emitted by node {src} was never folded at "
+                f"node {dst} and no crash accounts for it",
+                src=src, instance=instance, seg=seg,
+                emits=emits, folds=folds)
+        for key, folds in sorted(self._segment_folds.items()):
+            dst, context_id, instance, seg, src = key
+            self.checks += 1
+            if key not in self._segment_emits:
+                self.record(
+                    "INV-SEGMENT", dst, now,
+                    f"node {dst} folded segment {seg} of instance "
+                    f"{instance} (context {context_id}) from node {src} "
+                    f"that was never emitted",
+                    src=src, instance=instance, seg=seg, folds=folds)
 
     def _check_copy_identity(self, node_id: int, engine, now: float) -> None:
         """Sec. V-B/V-C copy accounting as a counter identity."""

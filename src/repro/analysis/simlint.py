@@ -33,6 +33,14 @@ SIM008    direct ``random``/``time`` stdlib import in simulation-scoped
           code — fault schedules and recovery timers must stay
           deterministic and resumable, so randomness goes through
           ``RngStreams`` named streams and time through the sim clock
+SIM009    segment/descriptor object construction or hard-coded segment
+          sizes outside ``repro.pipeline``/``repro.core`` — the
+          per-segment descriptor protocol only stays globally consistent
+          when every rank derives the identical plan from
+          ``PipelineParams``, so ad-hoc ``Segment``/``Segmenter``/
+          ``ReduceDescriptor`` construction (and literal
+          ``segment_size_bytes=`` outside a ``PipelineParams(...)``
+          call) breaks the no-negotiation invariant
 ========  ==============================================================
 
 Detection of dropped SimGens is *two-pass*: pass 1 collects every function
@@ -63,6 +71,8 @@ RULES: dict[str, str] = {
     "SIM006": "late-binding loop-variable capture in callback",
     "SIM007": "direct switch/link construction outside topo/network factories",
     "SIM008": "direct random/time stdlib import in simulation-scoped code",
+    "SIM009": "segment/descriptor construction or hard-coded segment size "
+              "outside pipeline/core",
 }
 
 #: repro sub-packages in which SIM002 (determinism) applies.  Everything
@@ -83,6 +93,14 @@ _SIM008_MODULES = frozenset({"random", "time"})
 #: topology layer, and the packages allowed to build them directly.
 _SIM007_CLASSES = frozenset({"CrossbarSwitch", "Link"})
 _SIM007_ALLOWED_PREFIXES = ("repro/network/", "repro/topo/")
+
+#: SIM009: segmented-pipeline primitives whose construction belongs to
+#: the segment planner / AB engine, and the packages allowed to build
+#: them directly.  ``segment_size_bytes=`` with a literal nonzero value
+#: is likewise confined — outside these packages it may only appear as a
+#: ``PipelineParams(...)`` keyword (the config front door).
+_SIM009_CLASSES = frozenset({"Segment", "Segmenter", "ReduceDescriptor"})
+_SIM009_ALLOWED_PREFIXES = ("repro/pipeline/", "repro/core/")
 
 #: Fully-qualified callables that read the host wall clock or ambient
 #: process state.
@@ -271,6 +289,7 @@ class _FileLinter(ast.NodeVisitor):
                                f"`{dotted}()` is ambient randomness — use "
                                f"a named `RngStreams` stream")
         self._check_direct_network_ctor(node)
+        self._check_direct_segment_ctor(node)
         self.generic_visit(node)
 
     # -- SIM007: direct switch/link construction ----------------------
@@ -298,6 +317,48 @@ class _FileLinter(ast.NodeVisitor):
                    f"direct `{name}(...)` construction bypasses the "
                    f"pluggable topology layer — configure "
                    f"`NetParams.topology` / use `repro.topo.make_topology`")
+
+    # -- SIM009: segment/descriptor construction outside pipeline/core --
+    def _check_direct_segment_ctor(self, node: ast.Call) -> None:
+        if self.path.startswith(_SIM009_ALLOWED_PREFIXES):
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return
+        if name in _SIM009_CLASSES:
+            # Only flag the repro pipeline/engine primitives: a same-named
+            # class from an unrelated module resolves to a dotted path
+            # without any pipeline/core component.
+            dotted = self._dotted(func) or name
+            if dotted != name and not any(
+                    part in ("pipeline", "segmenter", "descriptor", "core")
+                    for part in dotted.split(".")):
+                return
+            self._emit("SIM009", node,
+                       f"direct `{name}(...)` construction outside "
+                       f"repro.pipeline/repro.core — every rank must derive "
+                       f"the identical segment plan from `PipelineParams` "
+                       f"(use `plan_segments` / the engine API)")
+            return
+        # Literal nonzero segment sizes are only the config front door's
+        # business: PipelineParams(segment_size_bytes=...) is the one
+        # sanctioned spelling.
+        if name == "PipelineParams":
+            return
+        for kw in node.keywords:
+            if (kw.arg == "segment_size_bytes"
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, int)
+                    and kw.value.value != 0):
+                self._emit("SIM009", kw.value,
+                           f"hard-coded `segment_size_bytes={kw.value.value}`"
+                           f" outside a `PipelineParams(...)` call — segment "
+                           f"sizing flows through the config block so every "
+                           f"rank plans identically")
 
     # -- SIM003: float equality on timestamps -------------------------
     def visit_Compare(self, node: ast.Compare) -> None:

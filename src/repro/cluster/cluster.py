@@ -48,6 +48,10 @@ class Cluster:
         # exported whenever any NIC runs the go-back-N channel.
         if any(n.nic.reliable is not None for n in self.nodes):
             self.sim.add_counter_source(self._reliability_counters)
+        # Pipelined-collective effort (repro.pipeline): exported only when
+        # the config block is armed, so disarmed BENCH json is unchanged.
+        if config.pipeline.armed:
+            self.sim.add_counter_source(self._pipeline_counters)
         #: Protocol-invariant monitor; explicit, or the process-wide
         #: default the test harness installs, or None (production).
         self.monitor = monitor if monitor is not None else \
@@ -90,4 +94,37 @@ class Cluster:
             out["rel_gaps_discarded"] += s.gaps_discarded
             out["rel_timer_fires"] += s.timer_fires
             out["rel_max_window"] = max(out["rel_max_window"], s.max_window)
+        return out
+
+    def _pipeline_counters(self) -> dict:
+        """Aggregate segmented-pipeline effort (repro.pipeline) across the
+        cluster: engine-side window behaviour plus NIC-side segment
+        traffic.  On the default (non-AB) build only the NIC counters move;
+        the engine gauges stay zero."""
+        out = {
+            "segments_sent": 0, "segments_folded": 0,
+            "segments_folded_async": 0, "root_segment_folds": 0,
+            "pipeline_stalls": 0, "inflight_hwm": 0,
+            "pipelined_reduces": 0, "pipelined_allreduces": 0,
+            "stale_segments_dropped": 0,
+            "segment_packets_sent": 0, "segment_bytes_sent": 0,
+        }
+        for node in self.nodes:
+            nstats = node.nic.stats
+            out["segment_packets_sent"] += nstats.segment_packets_sent
+            out["segment_bytes_sent"] += nstats.segment_bytes_sent
+            engine = getattr(node, "ab_engine", None)
+            pipeline = getattr(engine, "pipeline", None)
+            if pipeline is None:
+                continue
+            s = pipeline.stats
+            out["segments_sent"] += s.segments_sent
+            out["segments_folded"] += s.segments_folded
+            out["segments_folded_async"] += s.segments_folded_async
+            out["root_segment_folds"] += s.root_segment_folds
+            out["pipeline_stalls"] += s.pipeline_stalls
+            out["stale_segments_dropped"] += s.stale_segments_dropped
+            out["pipelined_reduces"] += s.pipelined_reduces
+            out["pipelined_allreduces"] += s.pipelined_allreduces
+            out["inflight_hwm"] = max(out["inflight_hwm"], s.inflight_hwm)
         return out

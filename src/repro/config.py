@@ -353,6 +353,51 @@ class FaultParams:
                 or self.crash_rank >= 0)
 
 
+@dataclass(frozen=True)
+class PipelineParams:
+    """Segmented, pipelined collectives (see ``repro.pipeline``).
+
+    Defaults to *disarmed*: with ``segment_size_bytes == 0`` no segmenter
+    is built, no counter source is registered and every collective takes
+    today's whole-message path, so the simulation stays bit-identical to a
+    build without the pipeline subsystem (same guarantee style as
+    :class:`FaultParams`).
+    """
+
+    #: Target segment payload size in bytes; 0 disarms the subsystem.
+    #: Messages that split into fewer than two segments keep the
+    #: whole-message path, so the arming decision is a pure function of
+    #: message size and is globally consistent across ranks.
+    segment_size_bytes: int = 0
+    #: Maximum number of per-segment reduce descriptors an internal node
+    #: keeps open at once (the in-flight window per child; later segments
+    #: open as earlier ones complete, driven by the asynchronous side).
+    max_inflight_segments: int = 4
+    #: Segment schedule: "fixed" cuts equal chunks of ``segment_size_bytes``;
+    #: "greedy" starts at a quarter of that and doubles per segment up to
+    #: the cap (Lowery & Langou: small head segments prime the pipe, large
+    #: tail segments amortize per-segment overhead).
+    schedule: str = "fixed"
+
+    def validate(self) -> None:
+        if self.segment_size_bytes < 0:
+            raise ConfigError(
+                f"segment_size_bytes must be >= 0: {self.segment_size_bytes}")
+        if self.max_inflight_segments < 1:
+            raise ConfigError(
+                f"max_inflight_segments must be >= 1: "
+                f"{self.max_inflight_segments}")
+        if self.schedule not in ("fixed", "greedy"):
+            raise ConfigError(
+                f"unknown pipeline schedule {self.schedule!r}; "
+                f"known: fixed, greedy")
+
+    @property
+    def armed(self) -> bool:
+        """True when collectives may be segmented."""
+        return self.segment_size_bytes > 0
+
+
 # ---------------------------------------------------------------------------
 # cluster-level configuration
 # ---------------------------------------------------------------------------
@@ -370,12 +415,14 @@ class ClusterConfig:
     noise: NoiseParams = NoiseParams()
     seed: int = 12345
     faults: FaultParams = FaultParams()
+    pipeline: PipelineParams = PipelineParams()
 
     def __post_init__(self) -> None:
         if len(self.machines) < 1:
             raise ConfigError("cluster needs at least one node")
         self.noise.validate()
         self.faults.validate()
+        self.pipeline.validate()
 
     @property
     def size(self) -> int:
@@ -408,6 +455,9 @@ class ClusterConfig:
 
     def with_faults(self, faults: FaultParams) -> "ClusterConfig":
         return replace(self, faults=faults)
+
+    def with_pipeline(self, pipeline: PipelineParams) -> "ClusterConfig":
+        return replace(self, pipeline=pipeline)
 
 
 def interlaced_roster(total: int = 32) -> tuple[MachineSpec, ...]:

@@ -99,17 +99,17 @@ class AbBroadcast:
         rel = tree.relative_rank(me, root, comm.size)
         if rel == 0:
             raise AbProtocolError("bcast root received its own broadcast")
-        mask = (rel & -rel) >> 1  # below our lowest set bit, descending
-        while mask > 0:
-            child_rel = rel + mask
-            if child_rel < comm.size:
-                child = comm.world_rank(
-                    tree.absolute_rank(child_rel, root, comm.size))
-                self.engine.rank.progress.start_send(
-                    env.data, child, TAG_BCAST, comm.coll_context, ledger,
-                    ab=header)
-                self.stats.forwards += 1
-            mask >>= 1
+        # Reverse combine order: deepest subtree first (for the default
+        # binomial shape this is the original descending-mask walk, bit for
+        # bit; other shapes from repro.topo compose the same way).
+        shape = self.engine.rank.tree_shape
+        for child_rel in reversed(shape.children(rel, comm.size)):
+            child = comm.world_rank(
+                tree.absolute_rank(child_rel, root, comm.size))
+            self.engine.rank.progress.start_send(
+                env.data, child, TAG_BCAST, comm.coll_context, ledger,
+                ab=header)
+            self.stats.forwards += 1
 
     # ------------------------------------------------------------------
     # application side
@@ -134,18 +134,13 @@ class AbBroadcast:
             buf = np.array(data, copy=True)
             header = AbHeader(root=comm.world_rank(root), instance=instance,
                               kind=KIND)
-            mask = 1
-            while mask < comm.size:
-                mask <<= 1
-            mask >>= 1
-            while mask > 0:
-                if mask < comm.size:
-                    child = comm.world_rank(
-                        tree.absolute_rank(mask, root, comm.size))
-                    self.engine.rank.progress.start_send(
-                        buf, child, TAG_BCAST, comm.coll_context, ledger,
-                        ab=header)
-                mask >>= 1
+            shape = self.engine.rank.tree_shape
+            for child_rel in reversed(shape.children(0, comm.size)):
+                child = comm.world_rank(
+                    tree.absolute_rank(child_rel, root, comm.size))
+                self.engine.rank.progress.start_send(
+                    buf, child, TAG_BCAST, comm.coll_context, ledger,
+                    ab=header)
             yield Busy.from_ledger(ledger)
             return buf
 

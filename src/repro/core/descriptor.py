@@ -26,12 +26,14 @@ class ReduceDescriptor:
     __slots__ = ("context_id", "root_world", "instance", "parent_world",
                  "children_world", "op", "acc", "tag", "_pending",
                  "created_at", "removed", "sync_children", "async_children",
-                 "comm", "shape", "root", "size", "rel", "timeout_event")
+                 "comm", "shape", "root", "size", "rel", "timeout_event",
+                 "seg", "nseg", "on_complete")
 
     def __init__(self, context_id: int, root_world: int, instance: int,
                  parent_world: int, children_world: list[int], op: Op,
                  acc: np.ndarray, tag: int, created_at: float, *,
-                 comm=None, shape=None, root=None, size=None, rel=None):
+                 comm=None, shape=None, root=None, size=None, rel=None,
+                 seg: int = -1, nseg: int = 1, on_complete=None):
         if not children_world:
             raise AbProtocolError("descriptor for a node with no children "
                                   "(leaves use the plain send path)")
@@ -62,6 +64,16 @@ class ReduceDescriptor:
         #: Pending recovery-timer event, cancelled on completion so a
         #: defunct timer never stretches the simulation's makespan.
         self.timeout_event = None
+        #: Segment identity (repro.pipeline): index within the instance and
+        #: total segment count.  ``seg == -1`` marks a whole-message
+        #: descriptor and keeps every legacy code path byte-identical.
+        self.seg = seg
+        self.nseg = nseg
+        #: Called once by the engine right after this descriptor is removed
+        #: (before the queue-drained/signal check, so a callback that opens
+        #: the next segment's descriptor keeps signals armed).  Used by the
+        #: pipeline window to advance without the application on the CPU.
+        self.on_complete = on_complete
 
     # ------------------------------------------------------------------
     def is_pending(self, child_world: int) -> bool:
@@ -123,6 +135,25 @@ class DescriptorQueue:
         """Oldest descriptor still waiting on ``sender_world``."""
         for desc in self._entries:
             if desc.is_pending(sender_world):
+                return desc
+        return None
+
+    def match_segment(self, sender_world: int, context_id: int,
+                      instance: int, seg: int
+                      ) -> Optional[ReduceDescriptor]:
+        """Exact match for a segmented packet (repro.pipeline).
+
+        The FIFO rule of :meth:`match` assumes one descriptor per
+        (sender, instance); a pipelined instance keeps a *window* of
+        per-segment descriptors open at once — and a later instance may
+        open its window while an earlier one still has stragglers — so
+        segmented packets carry their (instance, seg) identity and are
+        matched on it exactly.
+        """
+        for desc in self._entries:
+            if (desc.seg == seg and desc.instance == instance
+                    and desc.context_id == context_id
+                    and desc.is_pending(sender_world)):
                 return desc
         return None
 

@@ -131,8 +131,20 @@ class AbEngine:
         #: ``(world_rank, now) -> bool`` — the fault schedule's perfect
         #: failure detector; None on fault-free clusters.
         self._crash_oracle = getattr(rank.node, "crash_oracle", None)
+        #: ``(context, instance, seg, child)`` keys whose descriptor
+        #: abandoned the child: a late segment packet matching one is
+        #: discarded on arrival (see :meth:`preprocess`).
+        self._stale_segments: set[tuple[int, int, int, int]] = set()
         self._heal = bool(faults is not None and faults.tree_heal
                           and self._crash_oracle is not None)
+        #: Segmented pipelined collectives (repro.pipeline).  Built only
+        #: when the config block is armed, so disarmed runs never construct
+        #: the subsystem and stay bit-identical to a build without it.
+        self.pipeline = None
+        pparams = getattr(rank.node.config, "pipeline", None)
+        if pparams is not None and pparams.armed:
+            from ..pipeline.reduce import AbPipeline
+            self.pipeline = AbPipeline(self)
 
     # ------------------------------------------------------------------
     # signal pinning (extensions)
@@ -173,6 +185,15 @@ class AbEngine:
         ledger.charge(self.costs.ab_decision_us, "ab")
 
         nbytes = sendbuf.nbytes
+        if self.pipeline is not None and size > 1:
+            # Pipelined path (repro.pipeline): checked before the size
+            # fallback because segmentation is exactly what opens the
+            # large-message AB path — each segment travels eager-sized.
+            segments = self.pipeline.plan_for(sendbuf)
+            if segments is not None:
+                result = yield from self.pipeline.reduce(
+                    sendbuf, op, root, comm, recvbuf, ledger, segments)
+                return result
         if nbytes > min(self.costs.ab_eager_limit_bytes,
                         self.costs.eager_limit_bytes):
             # Rendezvous-sized payload: the whole tree falls back (every
@@ -342,7 +363,24 @@ class AbEngine:
             return False
 
         ledger.charge(self.costs.ab_descriptor_match_us, "ab")
-        desc = self.descriptors.match(env.src)
+        if header.seg >= 0:
+            key = (env.context_id, header.instance, header.seg, env.src)
+            if key in self._stale_segments:
+                # The segment's descriptor already abandoned this child
+                # (timeout-recovery gave up on it): its late contribution is
+                # dropped, not buffered — nothing will ever consume it.
+                self._stale_segments.discard(key)
+                if self.pipeline is not None:
+                    self.pipeline.stats.stale_segments_dropped += 1
+                return True
+            # Segmented packet (repro.pipeline): the window keeps several
+            # per-segment descriptors of one instance open at once, so the
+            # FIFO sender match is ambiguous — match the exact (instance,
+            # segment) named by the header.
+            desc = self.descriptors.match_segment(
+                env.src, env.context_id, header.instance, header.seg)
+        else:
+            desc = self.descriptors.match(env.src)
         if desc is None:
             # Early (truly unexpected): one copy into the AB queue.
             data = np.array(env.data, copy=True)
@@ -358,6 +396,10 @@ class AbEngine:
                 self.stats.ab_copies += 1
                 self.stats.ab_copied_bytes += env.nbytes
             self.unexpected.put(env.src, header, data, self.sim.now)
+            if header.seg >= 0 and self.pipeline is not None:
+                # A segment the window wasn't ready for: the pipeline
+                # stalled (copy paid instead of a zero-copy fold).
+                self.pipeline.stats.pipeline_stalls += 1
             if self.monitor is not None:
                 self.monitor.on_ab_message(
                     self.rank.rank, "unexpected",
@@ -365,7 +407,7 @@ class AbEngine:
                     self.params.reuse_mpich_queues, self.sim.now)
             return True
 
-        if desc.instance != header.instance:
+        if header.seg < 0 and desc.instance != header.instance:
             raise AbProtocolError(
                 f"rank {self.rank.rank}: packet from {env.src} carries "
                 f"instance {header.instance} but matched descriptor "
@@ -402,6 +444,24 @@ class AbEngine:
         else:
             desc.async_children += 1
             self.stats.children_async += 1
+        if desc.seg >= 0:
+            if self.pipeline is not None:
+                self.pipeline.stats.segments_folded += 1
+                if not in_sync:
+                    self.pipeline.stats.segments_folded_async += 1
+            if self.monitor is not None:
+                self.monitor.on_segment_fold(
+                    self.rank.rank, child_world, desc.context_id,
+                    desc.instance, desc.seg, self.sim.now)
+            if not desc.complete and desc.timeout_event is not None:
+                # Stall-based recovery timer: a window descriptor's children
+                # legitimately arrive a full sibling-stream apart (the
+                # parent's RX port serializes every child's segments), so
+                # age-based expiry would abandon live children.  Each fold
+                # is progress — restart the timer and the retry budget.
+                self.sim.cancel(desc.timeout_event)
+                desc.timeout_event = self.sim.schedule(
+                    self._timeout_us, self._on_descriptor_timeout, desc, 1)
         if desc.complete:
             self._finish(desc, ledger, completed_async=not in_sync)
 
@@ -422,9 +482,16 @@ class AbEngine:
                 self._report_fault("send_rerouted", instance=desc.instance,
                                    parent=new_parent)
         header = AbHeader(root=desc.root_world, instance=desc.instance,
-                          kind="reduce")
+                          kind="reduce", seg=desc.seg, nseg=desc.nseg)
         self.rank.progress.start_send(desc.acc, desc.parent_world, desc.tag,
                                       desc.context_id, ledger, ab=header)
+        if desc.seg >= 0:
+            if self.pipeline is not None:
+                self.pipeline.stats.segments_sent += 1
+            if self.monitor is not None:
+                self.monitor.on_segment_emit(
+                    self.rank.rank, desc.parent_world, desc.context_id,
+                    desc.instance, desc.seg, self.sim.now)
         self.descriptors.remove(desc)
         if desc.timeout_event is not None:
             self.sim.cancel(desc.timeout_event)
@@ -433,10 +500,24 @@ class AbEngine:
             self.stats.descriptors_completed_async += 1
         else:
             self.stats.descriptors_completed_sync += 1
-        self.node.tracer.emit("ab.descriptor.complete",
-                              node=self.rank.rank, instance=desc.instance,
-                              mode="async" if completed_async else "sync",
-                              span=self.sim.now - desc.created_at)
+        if desc.seg >= 0:
+            self.node.tracer.emit("ab.segment.complete",
+                                  node=self.rank.rank, instance=desc.instance,
+                                  seg=desc.seg, nseg=desc.nseg,
+                                  mode="async" if completed_async else "sync",
+                                  span=self.sim.now - desc.created_at)
+        else:
+            self.node.tracer.emit("ab.descriptor.complete",
+                                  node=self.rank.rank, instance=desc.instance,
+                                  mode="async" if completed_async else "sync",
+                                  span=self.sim.now - desc.created_at)
+        callback = desc.on_complete
+        if callback is not None:
+            # Window advance (repro.pipeline): runs before the queue-drained
+            # check below so a callback that opens the next segment's
+            # descriptor keeps signals armed without a disable/enable flap.
+            desc.on_complete = None
+            callback(desc, ledger)
         if (self.descriptors.empty and self.signal_pins == 0
                 and self.nic.signals_enabled):
             # "Descriptor queue empty? -> Disable signals" (Fig. 5).
@@ -453,7 +534,11 @@ class AbEngine:
         copy they already paid on arrival is their only one (Sec. V-B).
         """
         for child in desc.pending_children():
-            entry = self.unexpected.take(child)
+            if desc.seg >= 0:
+                entry = self.unexpected.take_for(child, desc.instance,
+                                                 desc.seg)
+            else:
+                entry = self.unexpected.take(child)
             if entry is None:
                 continue
             if entry.header.instance != desc.instance:
@@ -545,6 +630,13 @@ class AbEngine:
         for child in desc.pending_children():
             desc.mark_done(child)
             self.stats.children_abandoned += 1
+            if desc.seg >= 0:
+                # Purge anything this child already delivered for the
+                # segment, and remember the key so a straggling late packet
+                # is discarded instead of stranding in the unexpected queue.
+                self.unexpected.take_for(child, desc.instance, desc.seg)
+                self._stale_segments.add(
+                    (desc.context_id, desc.instance, desc.seg, child))
             self._report_fault("child_abandoned", instance=desc.instance,
                                child=child)
         self._finish(desc, ledger, completed_async=True)

@@ -57,15 +57,26 @@ class ReduceHandle:
 
 
 class _RootState:
-    __slots__ = ("acc", "pending", "op", "handle", "sync_absorbed")
+    __slots__ = ("acc", "pending", "op", "handle", "sync_absorbed",
+                 "segments")
 
-    def __init__(self, acc: np.ndarray, pending: set[int], op: Op,
-                 handle: ReduceHandle):
+    def __init__(self, acc: np.ndarray, pending: set, op: Op,
+                 handle: ReduceHandle, segments=None):
         self.acc = acc
+        #: Outstanding contributions: child world ranks (whole-message), or
+        #: ``(child, seg)`` pairs when the reduction is segmented
+        #: (repro.pipeline) — each child then contributes once per segment.
         self.pending = pending
         self.op = op
         self.handle = handle
         self.sync_absorbed = 0
+        #: Segment plan, or None for a whole-message reduction.
+        self.segments = segments
+
+    def child_outstanding(self, child: int) -> bool:
+        if self.segments is None:
+            return child in self.pending
+        return any(key[0] == child for key in self.pending)
 
 
 class SplitPhaseStats:
@@ -125,7 +136,19 @@ class SplitPhaseReduce:
             comm.world_rank(tree.absolute_rank(c, root, size))
             for c in self.engine.rank.tree_shape.children(0, size)
         }
-        state = _RootState(acc, children, op, handle)
+        # Segmented reduction (repro.pipeline): non-root ranks stream
+        # per-segment contributions, so the root state tracks (child, seg)
+        # pairs and folds each arrival into its slice.  plan_for uses only
+        # (config, buffer geometry), so the segmentation decision here
+        # matches the one every non-root rank makes.
+        pipeline = getattr(self.engine, "pipeline", None)
+        segments = (pipeline.plan_for(np.asarray(sendbuf))
+                    if pipeline is not None else None)
+        if segments is not None:
+            pending = {(c, s.index) for c in children for s in segments}
+        else:
+            pending = set(children)
+        state = _RootState(acc, pending, op, handle, segments=segments)
         key = (comm.coll_context, instance)
         self._states[key] = state
         self.engine.pin_signals()
@@ -133,22 +156,23 @@ class SplitPhaseReduce:
         # Children that raced ahead of this call landed in the *default*
         # MPICH unexpected queue (the hook routes root-bound packets there
         # when no root state is registered).  Fold them in now — FIFO per
-        # child guarantees the oldest entry is ours.
+        # child guarantees the oldest entries are ours, in segment order.
         matching = self.engine.rank.progress.matching
         for child in sorted(children):
-            entry = matching.take_unexpected(child, TAG_REDUCE,
-                                             comm.coll_context)
-            if entry is None:
-                continue
-            env = entry.envelope
-            if env.ab is None or env.ab.instance != instance:
-                raise AbProtocolError(
-                    f"split-phase root found instance "
-                    f"{getattr(env.ab, 'instance', None)} in the unexpected "
-                    f"queue, expected {instance}")
-            ledger.charge(self.costs.ab_descriptor_match_us, "ab")
-            self.stats.pre_arrived_children += 1
-            self._fold(state, env, ledger)
+            while state.child_outstanding(child):
+                entry = matching.take_unexpected(child, TAG_REDUCE,
+                                                 comm.coll_context)
+                if entry is None:
+                    break
+                env = entry.envelope
+                if env.ab is None or env.ab.instance != instance:
+                    raise AbProtocolError(
+                        f"split-phase root found instance "
+                        f"{getattr(env.ab, 'instance', None)} in the "
+                        f"unexpected queue, expected {instance}")
+                ledger.charge(self.costs.ab_descriptor_match_us, "ab")
+                self.stats.pre_arrived_children += 1
+                self._fold(state, env, ledger)
         yield Busy.from_ledger(ledger)
         return handle
 
@@ -190,12 +214,32 @@ class SplitPhaseReduce:
 
     def _fold(self, state: _RootState, env: Envelope,
               ledger: Ledger) -> None:
-        if env.src not in state.pending:
-            raise AbProtocolError(
-                f"split-phase root got duplicate child {env.src}")
-        ledger.charge(self.costs.op_us(state.acc.size), "op")
-        state.op.apply(state.acc, env.data.reshape(state.acc.shape))
-        state.pending.discard(env.src)
+        seg = env.ab.seg if env.ab is not None else -1
+        if state.segments is not None and seg >= 0:
+            key = (env.src, seg)
+            if key not in state.pending:
+                raise AbProtocolError(
+                    f"split-phase root got duplicate segment {seg} from "
+                    f"child {env.src}")
+            s = state.segments[seg]
+            ledger.charge(self.costs.op_us(s.count), "op")
+            flat = state.acc.reshape(-1)
+            state.op.apply(flat[s.offset:s.offset + s.count],
+                           env.data.reshape(-1)[:s.count])
+            state.pending.discard(key)
+            engine = self.engine
+            if engine.monitor is not None:
+                engine.monitor.on_segment_fold(
+                    engine.rank.rank, env.src,
+                    state.handle.comm.coll_context,
+                    state.handle.instance, seg, self.engine.sim.now)
+        else:
+            if env.src not in state.pending:
+                raise AbProtocolError(
+                    f"split-phase root got duplicate child {env.src}")
+            ledger.charge(self.costs.op_us(state.acc.size), "op")
+            state.op.apply(state.acc, env.data.reshape(state.acc.shape))
+            state.pending.discard(env.src)
         if not state.pending:
             key = (state.handle.comm.coll_context, state.handle.instance)
             del self._states[key]

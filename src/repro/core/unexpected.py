@@ -59,6 +59,19 @@ class AbUnexpectedQueue:
                 return entry
         return None
 
+    def take_for(self, src_world: int, instance: int,
+                 seg: int) -> Optional[AbUnexpectedEntry]:
+        """Exact-match take for a segmented entry (repro.pipeline): the
+        per-sender FIFO rule cannot tell two buffered segments of the same
+        instance apart, so segmented consumers name the segment."""
+        for i, entry in enumerate(self._entries):
+            if (entry.src_world == src_world and entry.header.seg == seg
+                    and entry.header.instance == instance):
+                del self._entries[i]
+                self.consumed += 1
+                return entry
+        return None
+
     def peek_senders(self) -> list[int]:
         return [e.src_world for e in self._entries]
 

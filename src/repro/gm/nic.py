@@ -51,7 +51,8 @@ class NicStats:
     __slots__ = ("packets_sent", "packets_received", "bytes_sent",
                  "bytes_received", "signals_raised", "signals_suppressed",
                  "signal_toggles", "send_token_stalls", "recv_token_stalls",
-                 "crash_drops")
+                 "crash_drops", "segment_packets_sent",
+                 "segment_packets_received", "segment_bytes_sent")
 
     def __init__(self) -> None:
         self.packets_sent = 0
@@ -67,6 +68,11 @@ class NicStats:
         self.recv_token_stalls = 0
         #: Arrivals discarded because this NIC is crashed (repro.faults).
         self.crash_drops = 0
+        #: Segment-tagged collective traffic (repro.pipeline; zero unless
+        #: the pipeline subsystem is armed).
+        self.segment_packets_sent = 0
+        self.segment_packets_received = 0
+        self.segment_bytes_sent = 0
 
 
 class Nic:
@@ -163,6 +169,9 @@ class Nic:
         inflight.append(finish)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.nbytes
+        if packet.seg >= 0:
+            self.stats.segment_packets_sent += 1
+            self.stats.segment_bytes_sent += packet.nbytes
         if self.reliable is not None:
             self.reliable.register_send(packet)
         self.tracer.emit("nic.send", node=self.node_id, pkt=packet.seq,
@@ -295,6 +304,8 @@ class Nic:
         self.rx_queue.append(packet)
         self.stats.packets_received += 1
         self.stats.bytes_received += packet.nbytes
+        if packet.seg >= 0:
+            self.stats.segment_packets_received += 1
         self.tracer.emit("nic.recv", node=self.node_id, pkt=packet.seq,
                          src=packet.src, ptype=packet.ptype.value)
         self.rx_notifier.notify(packet)

@@ -43,10 +43,11 @@ _packet_seq = itertools.count(1)
 class Packet:
     """One packet in flight between two NICs."""
 
-    __slots__ = ("src", "dst", "ptype", "nbytes", "payload", "seq", "gseq")
+    __slots__ = ("src", "dst", "ptype", "nbytes", "payload", "seq", "gseq",
+                 "seg")
 
     def __init__(self, src: int, dst: int, ptype: PacketType, nbytes: int,
-                 payload: Any):
+                 payload: Any, seg: int = -1):
         if nbytes < 0:
             raise ValueError("negative payload size")
         self.src = src
@@ -58,6 +59,12 @@ class Packet:
         #: Per-(src, dst) reliable-delivery sequence number; stamped by the
         #: sending NIC when the fabric is lossy (see gm.reliability).
         self.gseq: int = -1
+        #: Segment tag for pipelined collectives (repro.pipeline): the
+        #: AbHeader's segment index, mirrored at the GM layer so the NIC can
+        #: count segment traffic.  -1 on whole-message packets.  Segment
+        #: packets are ordinary AB_COLLECTIVE packets otherwise — they ride
+        #: the same go-back-N reliability window and per-pair FIFO.
+        self.seg: int = seg
 
     def wire_bytes(self, header_bytes: int) -> int:
         """Bytes occupying the wire: payload plus GM header/CRC."""

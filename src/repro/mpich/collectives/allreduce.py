@@ -1,5 +1,13 @@
 """All-reduce as reduce-to-zero plus broadcast (the MPICH 1.2.x approach
-for general communicator sizes)."""
+for general communicator sizes).
+
+On the AB build with the pipeline subsystem armed (repro.pipeline),
+eligible messages take the Träff-style pipelined path instead: the root
+broadcasts each segment as soon as its fold completes, overlapping the
+reduce of later segments with the broadcast of earlier ones.  On the
+default build the plain composition below already pipelines, because both
+``reduce`` and ``bcast`` segment internally when armed.
+"""
 
 from __future__ import annotations
 
@@ -15,6 +23,15 @@ from ..operations import Op
 def allreduce_reduce_bcast(rank, sendbuf: np.ndarray, op: Op,
                            comm: Communicator) -> Generator:
     """Reduce to comm rank 0, then broadcast; every rank returns the total."""
+    ab = getattr(rank, "ab", None)
+    pipeline = getattr(ab, "pipeline", None) if ab is not None else None
+    if pipeline is not None and comm.size > 1:
+        segments = pipeline.plan_for(sendbuf)
+        if segments is not None:
+            result = yield from pipeline.allreduce(sendbuf, op, comm,
+                                                   segments)
+            return result
+
     result = yield from rank.reduce(sendbuf, op=op, root=0, comm=comm)
     me = comm.rank_of_world(rank.rank)
     if me == 0:

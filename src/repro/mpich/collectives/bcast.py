@@ -57,6 +57,36 @@ def bcast_binomial(rank, data: Optional[np.ndarray], root: int,
     yield Busy.from_ledger(ledger)
 
     shape = rank.tree_shape
+    pparams = getattr(rank.node.config, "pipeline", None)
+    if pparams is not None and pparams.armed:
+        from ...pipeline.segmenter import plan_segments
+        segments = plan_segments(pparams, buf)
+        if segments is not None:
+            # Segmented pipelined bcast (repro.pipeline): receive, then
+            # forward, one segment at a time — a node's children start
+            # receiving segment k while the node still waits for k+1.
+            # The plan depends only on (config, count, itemsize), so every
+            # rank segments identically; a non-contiguous user buffer is
+            # staged through a contiguous copy.
+            contiguous = buf.flags.c_contiguous
+            flat = (buf if contiguous else np.ascontiguousarray(buf)
+                    ).reshape(-1)
+            kid_ranks = [tree.absolute_rank(c, root, size)
+                         for c in reversed(shape.children(rel, size))]
+            parent = (tree.absolute_rank(shape.parent(rel, size), root,
+                                         size) if rel != 0 else None)
+            for s in segments:
+                chunk = flat[s.offset:s.offset + s.count]
+                if parent is not None:
+                    yield from rank.recv(chunk, parent, tag, comm,
+                                         _context=comm.coll_context)
+                for child in kid_ranks:
+                    yield from rank.send(chunk, child, tag, comm,
+                                         _context=comm.coll_context)
+            if not contiguous:
+                buf[...] = flat.reshape(buf.shape)
+            return buf
+
     # Receive phase: wait for the parent's copy.
     if rel != 0:
         parent = tree.absolute_rank(shape.parent(rel, size), root, size)

@@ -48,6 +48,16 @@ def reduce_nab(rank, sendbuf: np.ndarray, op: Op, root: int,
     rel = tree.relative_rank(me, root, size)
     kids = shape.children(rel, size)
 
+    pparams = getattr(rank.node.config, "pipeline", None)
+    if pparams is not None and pparams.armed:
+        from ...pipeline.segmenter import plan_segments
+        segments = plan_segments(pparams, np.asarray(sendbuf))
+        if segments is not None:
+            result = yield from _reduce_nab_segmented(
+                rank, np.asarray(sendbuf), op, root, comm, recvbuf, tag,
+                segments, ledger, shape, rel, kids)
+            return result
+
     if not kids:
         # Leaf: nothing to combine — send the application buffer directly.
         yield Busy.from_ledger(ledger)
@@ -78,6 +88,55 @@ def reduce_nab(rank, sendbuf: np.ndarray, op: Op, root: int,
                              _context=comm.coll_context)
         return None
     return _finish_root(acc, recvbuf)
+
+
+def _reduce_nab_segmented(rank, sendbuf: np.ndarray, op: Op, root: int,
+                          comm: Communicator,
+                          recvbuf: Optional[np.ndarray], tag: int,
+                          segments, ledger: Ledger, shape, rel: int,
+                          kids) -> Generator:
+    """Segmented store-and-forward tree reduce (repro.pipeline, NAB build).
+
+    Internal nodes receive, fold, and forward segment *k* before touching
+    segment *k+1*, so the message streams through the tree instead of
+    being staged whole at every level.  Per element the fold order (own
+    contribution, then children in combine order) is identical to the
+    unsegmented algorithm, so results match bit for bit."""
+    size = comm.size
+    costs = rank.costs
+
+    if not kids:
+        yield Busy.from_ledger(ledger)
+        flat = np.ascontiguousarray(sendbuf).reshape(-1)
+        parent = tree.absolute_rank(shape.parent(rel, size), root, size)
+        for s in segments:
+            yield from rank.send(flat[s.offset:s.offset + s.count], parent,
+                                 tag, comm, _context=comm.coll_context)
+        return None
+
+    acc = np.ascontiguousarray(sendbuf).reshape(-1).copy()
+    ledger.charge(costs.copy_us(acc.nbytes), "copy")
+    yield Busy.from_ledger(ledger)
+
+    tmp = np.empty(max(s.count for s in segments), dtype=acc.dtype)
+    parent = (tree.absolute_rank(shape.parent(rel, size), root, size)
+              if rel != 0 else None)
+    for s in segments:
+        chunk = acc[s.offset:s.offset + s.count]
+        for child_rel in kids:
+            child = tree.absolute_rank(child_rel, root, size)
+            yield from rank.recv(tmp[:s.count], child, tag, comm,
+                                 _context=comm.coll_context)
+            op_ledger = Ledger()
+            op_ledger.charge(costs.op_us(s.count), "op")
+            op.apply(chunk, tmp[:s.count])
+            yield Busy.from_ledger(op_ledger)
+        if parent is not None:
+            yield from rank.send(chunk, parent, tag, comm,
+                                 _context=comm.coll_context)
+    if parent is not None:
+        return None
+    return _finish_root(acc.reshape(sendbuf.shape), recvbuf)
 
 
 def _finish_root(acc: np.ndarray, recvbuf: Optional[np.ndarray]) -> np.ndarray:

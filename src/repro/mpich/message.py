@@ -48,6 +48,14 @@ class AbHeader:
     instance: int
     #: Which collective this belongs to ("reduce" or "bcast" extension).
     kind: str = "reduce"
+    #: Segment index within a pipelined collective (repro.pipeline); -1
+    #: marks a whole-message packet, keeping the legacy path untouched.
+    #: Segmented packets are matched *exactly* by (instance, seg) instead
+    #: of the FIFO sender rule, because an in-flight window may hold
+    #: descriptors for several segments of the same instance at once.
+    seg: int = -1
+    #: Total segments of the instance this packet belongs to (1 = whole).
+    nseg: int = 1
 
 
 _seq = itertools.count(1)

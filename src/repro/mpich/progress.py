@@ -280,7 +280,9 @@ class ProgressEngine:
             self.stats.self_sends += 1
             self._deliver(env, ledger)
             return
-        packet = Packet(self.node.id, env.dst, ptype, env.nbytes, env)
+        seg = env.ab.seg if env.ab is not None else -1
+        packet = Packet(self.node.id, env.dst, ptype, env.nbytes, env,
+                        seg=seg)
         self.nic.send(packet, launch_offset=ledger.total)
 
     def post_recv(self, buffer: Optional[np.ndarray], source: int, tag: int,

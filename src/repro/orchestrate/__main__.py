@@ -24,6 +24,13 @@ Commands:
     rank crash with tree healing) plus a fault-free baseline, written to
     ``BENCH_faults_smoke.json`` plus ``faults-invariant-report.json``.
 
+``smoke-pipeline [--jobs N] [--out DIR] [--seed S]``
+    Same contract over the segmented pipeline (repro.pipeline): a
+    large-message latency grid (whole-message vs fixed vs greedy
+    schedules, both builds) plus the crash+heal-mid-pipeline scenario,
+    all under the invariant monitor (INV-SEGMENT included), written to
+    ``BENCH_pipeline_smoke.json`` plus ``pipeline-invariant-report.json``.
+
 (The compare gate lives at ``python -m repro.orchestrate.compare``.)
 """
 
@@ -37,7 +44,7 @@ from typing import Optional, Sequence
 
 from .benchjson import write_bench_json
 from .points import (SweepPoint, execute_point, faults_smoke_points,
-                     smoke_points, topo_smoke_points)
+                     pipeline_smoke_points, smoke_points, topo_smoke_points)
 from .runner import run_points
 
 
@@ -106,6 +113,13 @@ def _cmd_smoke_faults(args: argparse.Namespace) -> int:
                            "faults-invariant-report.json")
 
 
+def _cmd_smoke_pipeline(args: argparse.Namespace) -> int:
+    points = pipeline_smoke_points(seed=args.seed,
+                                   iterations=args.iterations)
+    return _run_smoke_grid(args, "pipeline_smoke", points,
+                           "pipeline-invariant-report.json")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.orchestrate",
@@ -140,6 +154,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_faults.add_argument("--iterations", type=int, default=6)
     p_faults.add_argument("--out", default="ci-artifacts")
 
+    p_pipe = sub.add_parser("smoke-pipeline",
+                            help="segmented-pipeline CI sweep with "
+                                 "invariant collection")
+    p_pipe.add_argument("--jobs", type=int, default=2)
+    p_pipe.add_argument("--seed", type=int, default=1)
+    p_pipe.add_argument("--iterations", type=int, default=6)
+    p_pipe.add_argument("--out", default="ci-artifacts")
+
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:
@@ -152,6 +174,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_smoke_topo(args)
     if args.command == "smoke-faults":
         return _cmd_smoke_faults(args)
+    if args.command == "smoke-pipeline":
+        return _cmd_smoke_pipeline(args)
     parser.print_help()
     return 2
 

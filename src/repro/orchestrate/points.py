@@ -23,7 +23,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Optional
 
 from ..config import (AbParams, ClusterConfig, FaultParams, MpiParams,
-                      NetParams, NicParams, NoiseParams,
+                      NetParams, NicParams, NoiseParams, PipelineParams,
                       extrapolated_cluster, homogeneous_cluster,
                       paper_cluster, quiet_cluster)
 from ..mpich.rank import MpiBuild
@@ -47,6 +47,7 @@ _OVERRIDE_TYPES = {
     "mpi": MpiParams,
     "noise": NoiseParams,
     "faults": FaultParams,
+    "pipeline": PipelineParams,
 }
 
 
@@ -64,6 +65,7 @@ class ConfigSpec:
     mpi: Optional[MpiParams] = None
     noise: Optional[NoiseParams] = None
     faults: Optional[FaultParams] = None
+    pipeline: Optional[PipelineParams] = None
 
     def build(self) -> ClusterConfig:
         try:
@@ -84,6 +86,8 @@ class ConfigSpec:
             config = config.with_noise(self.noise)
         if self.faults is not None:
             config = config.with_faults(self.faults)
+        if self.pipeline is not None:
+            config = config.with_pipeline(self.pipeline)
         return config
 
     def to_dict(self) -> dict:
@@ -396,6 +400,51 @@ def faults_smoke_points(*, seed: int = 1, iterations: int = 6,
         for _tag, faults, net, builds in scenarios
         for build in builds
     ]
+
+
+def pipeline_smoke_points(*, seed: int = 1, iterations: int = 6,
+                          size: int = 16,
+                          collect_invariants: bool = True
+                          ) -> list["SweepPoint"]:
+    """CI smoke grid for the segmented pipeline (repro.pipeline): a
+    large-message latency comparison of the whole-message baseline
+    against the fixed and greedy schedules (segment_size_bytes=0 maps to
+    no override, so the baseline keys stay identical to a pipeline-free
+    checkout), plus the crash+heal-mid-pipeline scenario.  The fault
+    point's pacing must stay inside the busiest parent's RX budget —
+    eager segmented reduces have no end-to-end flow control, so
+    overpacing turns into honest abandons, not a hang (DESIGN.md §11)."""
+    variants = [
+        # (pipeline override or None, builds)
+        (None, ("nab", "ab")),
+        (PipelineParams(segment_size_bytes=2048, max_inflight_segments=3),
+         ("nab", "ab")),
+        (PipelineParams(segment_size_bytes=2048, max_inflight_segments=3,
+                        schedule="greedy"), ("ab",)),
+    ]
+    points = [
+        SweepPoint(
+            experiment="pipeline_smoke", kind="latency",
+            config=ConfigSpec("paper", size, seed, pipeline=pipeline),
+            build=build, elements=1024, iterations=iterations,
+            collect_invariants=collect_invariants)
+        for pipeline, builds in variants
+        for build in builds
+    ]
+    points.append(SweepPoint(
+        experiment="pipeline_smoke", kind="fault_reduce",
+        config=ConfigSpec(
+            "quiet", 32, seed,
+            faults=FaultParams(crash_rank=24, crash_at_us=900.0,
+                               tree_heal=True,
+                               descriptor_timeout_us=300.0,
+                               timeout_retries=2),
+            pipeline=PipelineParams(segment_size_bytes=2048,
+                                    max_inflight_segments=3)),
+        build="ab", elements=2048, iterations=iterations,
+        options={"gap_us": 1200.0},
+        collect_invariants=collect_invariants))
+    return points
 
 
 KINDS: dict[str, Callable] = {

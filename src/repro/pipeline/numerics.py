@@ -1,0 +1,48 @@
+"""Numerical policy for segmented reductions.
+
+Integer (and bitwise) reductions are associative and commutative exactly,
+so a segmented reduce must return the *bit-identical* result of the
+unsegmented one — the property suite asserts equality with no tolerance.
+
+Floating-point SUM is only associative up to rounding.  Segmentation does
+not change which values are combined per element, but on internal
+application-bypass nodes it can change the *order*: whole-message AB folds
+children in packet-arrival order, and the pipelined variant folds each
+segment in that segment's own arrival order, which may differ between the
+two runs.  The result is a classic reassociation error, bounded by the
+standard summation-error model: for ``n`` summands of magnitude ``~m`` the
+worst-case relative error of any summation order is ``(n - 1) * eps``
+(Higham, *Accuracy and Stability of Numerical Algorithms*, Sec. 4.2).
+Comparing two different orders doubles the bound.
+
+Policy (documented, tested in ``tests/property/test_pipeline_numerics.py``):
+segmented and unsegmented float SUM must agree to a relative tolerance of
+``2 * (n - 1) * eps`` with a small safety factor, where ``n`` is the number
+of contributions per element (the communicator size).  MIN/MAX/PROD of the
+same inputs are order-exact for the benchmark value ranges and are held to
+exact equality by the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Safety factor over the analytic reassociation bound — absorbs the
+#: difference between worst-case and attained error without masking
+#: genuine combination bugs (which are wrong by whole contributions, many
+#: orders of magnitude above this).
+SAFETY = 4.0
+
+
+def reassociation_tolerance(dtype: np.dtype, contributions: int) -> float:
+    """Relative tolerance for comparing two summation orders.
+
+    ``contributions`` is how many values were summed per element (for a
+    reduction over a communicator, its size).  Integer dtypes return 0.0 —
+    they must match exactly.
+    """
+    dt = np.dtype(dtype)
+    if dt.kind not in ("f", "c"):
+        return 0.0
+    eps = float(np.finfo(dt).eps)
+    return SAFETY * 2.0 * max(contributions - 1, 1) * eps

@@ -6,7 +6,10 @@ Format so runs can be inspected in any Chromium browser or Perfetto:
 * instant events for packet sends/receives, signals and descriptor
   transitions (one track per node);
 * complete ("X") events for descriptor lifetimes (enqueue → complete),
-  which render as bars — the Fig. 2 gray spans.
+  which render as bars — the Fig. 2 gray spans;
+* complete ("X") events for segment-descriptor lifetimes
+  (``ab.segment.enqueue`` → ``ab.segment.complete``, repro.pipeline),
+  one bar per in-flight segment so the window's overlap is visible.
 
 Usage::
 
@@ -27,6 +30,7 @@ _INSTANT = {
     "nic.signal": "SIGNAL",
     "nic.retransmit": "retransmit",
     "ab.descriptor.enqueue": "descriptor+",
+    "ab.segment.enqueue": "segment+",
 }
 
 
@@ -34,6 +38,7 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
     """Build the Trace Event Format event list from collected records."""
     events: list[dict] = []
     open_descriptors: dict[tuple[int, int], float] = {}
+    open_segments: dict[tuple[int, int, int], float] = {}
     for rec in tracer.records:
         kind = rec["kind"]
         node = rec.get("node", -1)
@@ -46,6 +51,23 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
                 events.append({
                     "name": f"reduce#{rec['instance']} ({rec['mode']})",
                     "cat": "descriptor",
+                    "ph": "X",
+                    "ts": start,
+                    "dur": max(ts - start, 0.01),
+                    "pid": 0,
+                    "tid": node,
+                })
+            continue
+        if kind == "ab.segment.enqueue":
+            open_segments[(node, rec["instance"], rec["seg"])] = ts
+        if kind == "ab.segment.complete":
+            start = open_segments.pop(
+                (node, rec["instance"], rec["seg"]), None)
+            if start is not None:
+                events.append({
+                    "name": (f"seg#{rec['instance']}.{rec['seg']}"
+                             f"/{rec['nseg']} ({rec['mode']})"),
+                    "cat": "segment",
                     "ph": "X",
                     "ts": start,
                     "dur": max(ts - start, 0.01),

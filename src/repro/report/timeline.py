@@ -14,6 +14,7 @@ Each node gets one lane.  Markers:
 
 * ``E`` — AB reduce descriptor enqueued (the rank left ``MPI_Reduce``)
 * ``C`` — descriptor completed (final result sent to the parent)
+* ``e`` / ``c`` — segment descriptor enqueued / completed (repro.pipeline)
 * ``!`` — NIC signal delivered to the host
 * ``s`` / ``r`` — packet send / receive at the NIC
 """
@@ -29,6 +30,8 @@ _MARKERS = (
     ("nic.send", "s"),
     ("nic.recv", "r"),
     ("nic.signal", "!"),
+    ("ab.segment.enqueue", "e"),
+    ("ab.segment.complete", "c"),
     ("ab.descriptor.enqueue", "E"),
     ("ab.descriptor.complete", "C"),
 )
@@ -61,7 +64,8 @@ def render_timeline(tracer: Tracer, *, nodes: Iterable[int],
             counts[node] += 1
 
     header = (f"timeline {t_start:.0f}..{t_end:.0f} us   "
-              f"(s=send r=recv !=signal E=descriptor C=complete)")
+              f"(s=send r=recv !=signal E=descriptor C=complete "
+              f"e/c=segment)")
     lines = [header]
     ruler = " " * 8 + "".join(
         "|" if i % 10 == 0 else " " for i in range(width))
@@ -78,6 +82,22 @@ def descriptor_spans(tracer: Tracer) -> list[dict]:
         spans.append({
             "node": rec["node"],
             "instance": rec["instance"],
+            "span_us": rec["span"],
+            "mode": rec["mode"],
+        })
+    return spans
+
+
+def segment_spans(tracer: Tracer) -> list[dict]:
+    """Per-segment descriptor lifetimes (repro.pipeline): one entry per
+    ``ab.segment.complete``, carrying the window position and mode."""
+    spans = []
+    for rec in tracer.of_kind("ab.segment.complete"):
+        spans.append({
+            "node": rec["node"],
+            "instance": rec["instance"],
+            "seg": rec["seg"],
+            "nseg": rec["nseg"],
             "span_us": rec["span"],
             "mode": rec["mode"],
         })

@@ -37,6 +37,12 @@ class OpProfile:
     blocked_us: float = 0.0
     bytes_moved: int = 0
     max_call_us: float = 0.0
+    #: Calls whose payload the pipeline config would segment (>= 2 chunks).
+    segmented_calls: int = 0
+    #: Total segments across all segmented calls.
+    segments_planned: int = 0
+    #: Per-segment byte sizes of the most recent segmented call.
+    segment_bytes: list = field(default_factory=list)
 
     def record(self, elapsed_us: float, nbytes: int) -> None:
         self.calls += 1
@@ -44,9 +50,19 @@ class OpProfile:
         self.bytes_moved += nbytes
         self.max_call_us = max(self.max_call_us, elapsed_us)
 
+    def record_segments(self, seg_bytes: list) -> None:
+        self.segmented_calls += 1
+        self.segments_planned += len(seg_bytes)
+        self.segment_bytes = list(seg_bytes)
+
     @property
     def mean_call_us(self) -> float:
         return self.blocked_us / self.calls if self.calls else 0.0
+
+    @property
+    def mean_segments_per_call(self) -> float:
+        return (self.segments_planned / self.segmented_calls
+                if self.segmented_calls else 0.0)
 
 
 @dataclass
@@ -76,10 +92,14 @@ class MpiProfile:
                  f"{self.total_blocked_us:.1f} us blocked"]
         for name in sorted(self.ops):
             p = self.ops[name]
-            lines.append(
+            line = (
                 f"  {name:<10} calls={p.calls:<5} blocked={p.blocked_us:9.1f}us "
                 f"mean={p.mean_call_us:7.2f}us max={p.max_call_us:7.2f}us "
                 f"bytes={p.bytes_moved}")
+            if p.segmented_calls:
+                line += (f" segs={p.segments_planned}"
+                         f" ({p.mean_segments_per_call:.1f}/call)")
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -116,11 +136,30 @@ class ProfiledMpi:
         yield from self.mpi.work(duration_us, category)
 
     # -- interposed operations ----------------------------------------------
-    def _timed(self, name: str, gen, nbytes: int) -> Generator:
+    def _timed(self, name: str, gen, nbytes: int,
+               segmented=None) -> Generator:
         t0 = self.mpi.now
         result = yield from gen
-        self.profile.op(name).record(self.mpi.now - t0, nbytes)
+        profile = self.profile.op(name)
+        profile.record(self.mpi.now - t0, nbytes)
+        if segmented is not None:
+            profile.record_segments(segmented)
         return result
+
+    def _segment_plan(self, data):
+        """Per-segment byte sizes the pipeline config assigns to ``data``,
+        or None when segmentation is disarmed / would not engage.  Uses the
+        pure planning function, so profiling never perturbs the run."""
+        if data is None:
+            return None
+        params = getattr(self.mpi.node.config, "pipeline", None)
+        if params is None or not params.armed:
+            return None
+        from ..pipeline import plan_segments
+        plan = plan_segments(params, np.asarray(data))
+        if plan is None:
+            return None
+        return [s.nbytes for s in plan]
 
     def send(self, data, dest: int, tag: int = 0, comm=None) -> Generator:
         result = yield from self._timed(
@@ -137,14 +176,14 @@ class ProfiledMpi:
                recvbuf=None) -> Generator:
         result = yield from self._timed(
             "reduce", self.mpi.reduce(sendbuf, op, root, comm, recvbuf),
-            _nbytes(sendbuf))
+            _nbytes(sendbuf), segmented=self._segment_plan(sendbuf))
         return result
 
     def bcast(self, data, root: int = 0, comm=None, count=None,
               dtype=None) -> Generator:
         result = yield from self._timed(
             "bcast", self.mpi.bcast(data, root, comm, count, dtype),
-            _nbytes(data))
+            _nbytes(data), segmented=self._segment_plan(data))
         return result
 
     def barrier(self, comm=None) -> Generator:
@@ -153,7 +192,7 @@ class ProfiledMpi:
     def allreduce(self, sendbuf, op: Op = SUM, comm=None) -> Generator:
         result = yield from self._timed(
             "allreduce", self.mpi.allreduce(sendbuf, op, comm),
-            _nbytes(sendbuf))
+            _nbytes(sendbuf), segmented=self._segment_plan(sendbuf))
         return result
 
     def gather(self, senddata, root: int = 0, comm=None) -> Generator:

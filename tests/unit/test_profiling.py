@@ -68,6 +68,52 @@ def test_profile_render():
     assert "blocked=" in text
 
 
+def test_profile_segment_accounting():
+    """With the pipeline config armed, the profiler records how each call
+    was segmented — count and per-segment byte sizes."""
+    from repro.config import PipelineParams
+
+    def program(mpi):
+        prof = ProfiledMpi(mpi)
+        yield from prof.reduce(np.ones(1024), op=SUM, root=0)   # 8 KiB
+        yield from prof.reduce(np.ones(4), op=SUM, root=0)      # tiny
+        yield from prof.allreduce(np.ones(512), op=SUM)         # 4 KiB
+        return prof.report()
+
+    from repro import quiet_cluster
+    out = run_ranks(
+        4, program, build=MpiBuild.AB,
+        config=quiet_cluster(4, seed=0).with_pipeline(
+            PipelineParams(segment_size_bytes=2048)))
+    profile = out.results[1]
+    red = profile.ops["reduce"]
+    assert red.calls == 2
+    assert red.segmented_calls == 1          # the tiny reduce is one chunk
+    assert red.segments_planned == 4         # 8 KiB / 2 KiB
+    assert red.segment_bytes == [2048] * 4
+    assert red.mean_segments_per_call == 4.0
+    allred = profile.ops["allreduce"]
+    assert allred.segmented_calls == 1
+    assert allred.segment_bytes == [2048, 2048]
+    assert "segs=4" in profile.render()
+
+
+def test_profile_segment_accounting_disarmed():
+    """Default config: no pipeline block is armed, nothing is recorded."""
+
+    def program(mpi):
+        prof = ProfiledMpi(mpi)
+        yield from prof.reduce(np.ones(1024), op=SUM, root=0)
+        return prof.report()
+
+    out = run_ranks(2, program)
+    red = out.results[0].ops["reduce"]
+    assert red.segmented_calls == 0
+    assert red.segments_planned == 0
+    assert red.segment_bytes == []
+    assert "segs=" not in out.results[0].render()
+
+
 def test_mean_and_max_call_stats():
     out = run_ranks(2, profiled_program)
     barrier = out.results[0].ops["barrier"]

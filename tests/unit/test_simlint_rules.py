@@ -350,6 +350,95 @@ def test_sim008_numpy_and_relative_imports_clean(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# SIM009 — segment/descriptor construction outside pipeline/core
+# ----------------------------------------------------------------------
+def test_sim009_direct_construction_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.pipeline.segmenter import Segment, Segmenter
+        from repro.core.descriptor import ReduceDescriptor
+
+        def build(params):
+            seg = Segment(0, 0, 128, 8)
+            planner = Segmenter(params)
+            desc = ReduceDescriptor(context_id=0, instance=1)
+            return seg, planner, desc
+    """, relpath="repro/mpich/bad.py")
+    assert rules_of(findings) == ["SIM009", "SIM009", "SIM009"]
+    assert "plan_segments" in findings[0].message
+
+
+def test_sim009_attribute_call_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.pipeline import segmenter
+
+        def build(params):
+            return segmenter.Segmenter(params)
+    """, relpath="repro/runtime/bad.py")
+    assert rules_of(findings) == ["SIM009"]
+
+
+def test_sim009_pipeline_and_core_packages_allowed(tmp_path):
+    source = """
+        from repro.pipeline.segmenter import Segment, Segmenter
+
+        def build(params):
+            return Segmenter(params), Segment(0, 0, 4, 8)
+    """
+    assert lint_source(tmp_path, source,
+                       relpath="repro/pipeline/custom.py") == []
+    assert lint_source(tmp_path, source,
+                       relpath="repro/core/engine2.py") == []
+
+
+def test_sim009_hardcoded_segment_size_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        def run(pipeline_cls):
+            return pipeline_cls(segment_size_bytes=4096)
+    """, relpath="repro/apps/bad.py")
+    assert rules_of(findings) == ["SIM009"]
+    assert "PipelineParams" in findings[0].message
+
+
+def test_sim009_pipeline_params_keyword_allowed(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.config import PipelineParams
+
+        def configure():
+            return PipelineParams(segment_size_bytes=2048)
+    """, relpath="repro/orchestrate/points2.py")
+    assert findings == []
+
+
+def test_sim009_zero_segment_size_allowed(tmp_path):
+    # segment_size_bytes=0 is the disarmed spelling — never flagged.
+    findings = lint_source(tmp_path, """
+        def run(pipeline_cls):
+            return pipeline_cls(segment_size_bytes=0)
+    """, relpath="repro/apps/ok.py")
+    assert findings == []
+
+
+def test_sim009_unrelated_same_named_class_not_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        import svglib
+
+        def render():
+            return svglib.path.Segment("M", "0,0")
+    """, relpath="repro/mpich/render.py")
+    assert findings == []
+
+
+def test_sim009_pragma_suppression(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.pipeline.segmenter import Segmenter
+
+        def probe(params):
+            return Segmenter(params)  # simlint: ignore[SIM009]
+    """, relpath="repro/apps/probe.py")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # configuration
 # ----------------------------------------------------------------------
 def test_select_restricts_rules(tmp_path):
