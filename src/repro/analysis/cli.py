@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .baseline import Baseline, BaselineError
+from .rules import REGISTRY, SEVERITIES, RuleOverride
 from .simlint import RULES, Linter, SIM_SCOPED_PACKAGES
 
 EXIT_CLEAN = 0
@@ -35,6 +36,20 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--select", metavar="RULES",
                         help="comma-separated rule IDs to run "
                              "(default: all)")
+    parser.add_argument("--disable", metavar="RULE", action="append",
+                        default=[],
+                        help="disable one rule (repeatable)")
+    parser.add_argument("--severity", metavar="RULE=LEVEL", action="append",
+                        default=[],
+                        help="override a rule's severity, e.g. "
+                             "SIM012=error (repeatable; levels: "
+                             + "/".join(SEVERITIES) + ")")
+    parser.add_argument("--fail-on-warnings", action="store_true",
+                        help="exit 1 on warning-severity findings too "
+                             "(default: only errors gate)")
+    parser.add_argument("--out", metavar="FILE",
+                        help="also write the report (in the chosen "
+                             "--format) to FILE, e.g. a CI artifact")
     parser.add_argument("--sim-scope", metavar="PKGS",
                         default=",".join(sorted(SIM_SCOPED_PACKAGES)),
                         help="repro sub-packages where determinism rules "
@@ -53,7 +68,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.list_rules:
         for rule_id in sorted(RULES):
-            print(f"{rule_id}  {RULES[rule_id]}")
+            cls = REGISTRY.get(rule_id)
+            sev = cls.spec.severity if cls is not None else "error"
+            print(f"{rule_id}  [{sev}] {RULES[rule_id]}")
         return EXIT_CLEAN
 
     if not args.paths:
@@ -75,8 +92,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             return EXIT_USAGE
 
+    overrides: dict[str, RuleOverride] = {}
+    for rule_id in args.disable:
+        if rule_id not in RULES:
+            print(f"error: unknown rule: {rule_id}", file=sys.stderr)
+            return EXIT_USAGE
+        overrides[rule_id] = RuleOverride(enabled=False)
+    for spec in args.severity:
+        rule_id, _, level = spec.partition("=")
+        if rule_id not in RULES or level not in SEVERITIES:
+            print(f"error: bad --severity {spec!r} (want RULE="
+                  f"{'|'.join(SEVERITIES)})", file=sys.stderr)
+            return EXIT_USAGE
+        prev = overrides.get(rule_id, RuleOverride())
+        overrides[rule_id] = RuleOverride(enabled=prev.enabled,
+                                          severity=level)
+
     sim_scope = {p.strip() for p in args.sim_scope.split(",") if p.strip()}
-    linter = Linter(select=select, sim_scope=sim_scope)
+    linter = Linter(select=select, sim_scope=sim_scope, overrides=overrides)
     findings = linter.lint_paths(args.paths)
 
     if args.write_baseline:
@@ -98,26 +131,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return EXIT_USAGE
         findings, baselined, stale = baseline.filter(findings)
 
+    errors = [f for f in findings if f.severity == "error"]
+    warnings = [f for f in findings if f.severity != "error"]
+
     if args.format == "json":
         counts: dict[str, int] = {}
         for finding in findings:
             counts[finding.rule] = counts.get(finding.rule, 0) + 1
-        print(json.dumps({
+        output = json.dumps({
             "version": 1,
             "findings": [f.to_dict() for f in findings],
             "counts": counts,
+            "errors": len(errors),
+            "warnings": len(warnings),
             "baselined": baselined,
             "stale_baseline_entries": stale,
-        }, indent=2, sort_keys=True))
+        }, indent=2, sort_keys=True)
     else:
-        for finding in findings:
-            print(finding.render())
+        lines = [f.render() for f in findings]
         summary = [f"{len(findings)} finding(s)"]
+        if warnings:
+            summary.append(f"{len(warnings)} warning(s)")
         if baselined:
             summary.append(f"{baselined} baselined")
         if stale:
             summary.append(f"{stale} stale baseline entr(ies) — "
                            f"consider --write-baseline")
-        print("simlint: " + ", ".join(summary))
+        lines.append("simlint: " + ", ".join(summary))
+        output = "\n".join(lines)
+    print(output)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(output + "\n")
 
-    return EXIT_FINDINGS if findings else EXIT_CLEAN
+    gating = findings if args.fail_on_warnings else errors
+    return EXIT_FINDINGS if gating else EXIT_CLEAN

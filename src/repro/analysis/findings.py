@@ -43,6 +43,10 @@ class Finding:
     col: int
     message: str
     line_text: str = ""
+    #: "error" gates CI; "warning" reports without failing the run.
+    #: Excluded from the fingerprint so severity reconfiguration never
+    #: invalidates a baseline.
+    severity: str = "error"
 
     @property
     def fingerprint(self) -> str:
@@ -50,7 +54,9 @@ class Finding:
         return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        sev = "" if self.severity == "error" else f" {self.severity}"
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule}{sev} {self.message}")
 
     def to_dict(self) -> dict:
         return {
@@ -59,6 +65,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
             "fingerprint": self.fingerprint,
         }
 

@@ -62,7 +62,7 @@ is inspected afterwards (for diagnosis).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from ..errors import InvariantViolation
 from .findings import Violation
@@ -111,7 +111,7 @@ class InvariantMonitor:
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
-    def attach(self, cluster) -> None:
+    def attach(self, cluster: Any) -> None:
         """Hook a fully built cluster (sim loop + every NIC)."""
         self._cluster = cluster
         cluster.sim.add_monitor(self)
@@ -122,7 +122,7 @@ class InvariantMonitor:
             node.nic.monitor = self
         self._faults = getattr(cluster, "faults", None)
 
-    def register_engine(self, engine) -> None:
+    def register_engine(self, engine: Any) -> None:
         """Called by :class:`AbEngine.__init__` when a monitor is wired."""
         self._engines[engine.rank.rank] = engine
 
@@ -130,7 +130,7 @@ class InvariantMonitor:
     # recording
     # ------------------------------------------------------------------
     def record(self, invariant: str, node: Optional[int], time: float,
-               detail: str, **context) -> None:
+               detail: str, **context: Any) -> None:
         violation = Violation(invariant=invariant, node=node, time=time,
                               detail=detail, context=context)
         self.violations.append(violation)
@@ -231,7 +231,7 @@ class InvariantMonitor:
                 pins=engine.signal_pins)
 
     def on_fault_report(self, node_id: int, kind: str, now: float,
-                        **context) -> None:
+                        **context: Any) -> None:
         """Recovery layer reports a fault it handled or gave up on.
 
         Reports are *not* violations: INV-FAULT requires every injected
@@ -366,7 +366,8 @@ class InvariantMonitor:
                     f"that was never emitted",
                     src=src, instance=instance, seg=seg, folds=folds)
 
-    def _check_copy_identity(self, node_id: int, engine, now: float) -> None:
+    def _check_copy_identity(self, node_id: int, engine: Any,
+                             now: float) -> None:
         """Sec. V-B/V-C copy accounting as a counter identity."""
         stats = engine.stats
         per_unexpected = 2 if engine.params.reuse_mpich_queues else 1

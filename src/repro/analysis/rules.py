@@ -1,0 +1,599 @@
+"""The pluggable simlint rule registry.
+
+Each lint rule is a small class registered under a stable ID with a
+:class:`RuleSpec` (summary, default severity, whether it only applies in
+simulation-scoped packages).  The driver (:mod:`repro.analysis.simlint`)
+does **one** shared AST walk per file and dispatches each node to the
+rules subscribed to its type, so adding a rule never adds a pass.
+
+Per-run configuration is a :class:`LintConfig`: rules can be disabled,
+their severity overridden (``error`` gates CI, ``warning`` reports only),
+and the sim-scope package set swapped — from the CLI
+(``--disable/--severity/--select/--sim-scope``) or programmatically.
+
+Rules see a ``ctx`` object (``LintContext`` in the driver) exposing the
+shared per-file analyses: import alias resolution (``ctx.dotted``), the
+cross-file generator-name set (``ctx.gen_call_name``), set-typed value
+inference (``ctx.is_unordered_iter``), callback-name inference
+(``ctx.callback_functions``), the enclosing loop/function stacks, and
+``ctx.emit(rule_id, node, message)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Any, ClassVar, Iterable, Optional, Sequence
+
+ERROR = "error"
+WARNING = "warning"
+SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Identity and default policy of one rule."""
+
+    id: str
+    summary: str
+    severity: str = ERROR
+    #: Rule only fires in files under the configured sim-scope packages.
+    sim_scope_only: bool = False
+    #: Disabled rules still register (visible in --list-rules) but never
+    #: run unless explicitly enabled.
+    default_enabled: bool = True
+
+
+@dataclass(frozen=True)
+class RuleOverride:
+    """Per-rule configuration overrides (None = keep the spec default)."""
+
+    enabled: Optional[bool] = None
+    severity: Optional[str] = None
+
+
+class LintConfig:
+    """Resolved per-run rule configuration."""
+
+    def __init__(self, *, select: Optional[Iterable[str]] = None,
+                 overrides: Optional[dict[str, RuleOverride]] = None):
+        self.select = frozenset(select) if select is not None else None
+        self.overrides = dict(overrides or {})
+
+    def enabled(self, spec: RuleSpec) -> bool:
+        if self.select is not None:
+            return spec.id in self.select
+        override = self.overrides.get(spec.id)
+        if override is not None and override.enabled is not None:
+            return override.enabled
+        return spec.default_enabled
+
+    def severity(self, spec: RuleSpec) -> str:
+        override = self.overrides.get(spec.id)
+        if override is not None and override.severity is not None:
+            return override.severity
+        return spec.severity
+
+
+class Rule:
+    """Base class: subclass, set ``spec`` and ``node_types``, implement
+    :meth:`check`.  One instance is created per linted file, so instances
+    may keep per-file state (seeded in :meth:`begin_file`)."""
+
+    spec: ClassVar[RuleSpec]
+    #: AST node classes this rule wants dispatched to :meth:`check`.
+    node_types: ClassVar[tuple[type, ...]] = ()
+
+    def begin_file(self, ctx: Any, tree: ast.AST) -> None:
+        """Optional per-file pre-pass (runs before the shared walk)."""
+
+    def check(self, ctx: Any, node: ast.AST) -> None:
+        raise NotImplementedError
+
+
+#: All registered rules by ID (import order == registration order; the
+#: driver instantiates every enabled one per file).
+REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    if cls.spec.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.spec.id}")
+    REGISTRY[cls.spec.id] = cls
+    return cls
+
+
+def rule_table() -> dict[str, str]:
+    """``{rule_id: summary}`` for every registered rule plus SIM000 (the
+    driver-emitted parse failure, which has no Rule class)."""
+    table = {"SIM000": "syntax error (file does not parse)"}
+    table.update({rid: cls.spec.summary for rid, cls in REGISTRY.items()})
+    return table
+
+
+# ---------------------------------------------------------------------------
+# shared tables and helpers
+# ---------------------------------------------------------------------------
+
+#: SIM008: stdlib modules whose *import* already signals nondeterminism in
+#: simulation-scoped code (calls through them are caught by SIM002; the
+#: import-level rule catches aliasing tricks and dead imports alike).
+SIM008_MODULES = frozenset({"random", "time"})
+
+#: SIM007: network primitives whose construction belongs to the pluggable
+#: topology layer, and the packages allowed to build them directly.
+SIM007_CLASSES = frozenset({"CrossbarSwitch", "Link"})
+SIM007_ALLOWED_PREFIXES = ("repro/network/", "repro/topo/")
+
+#: SIM009: segmented-pipeline primitives whose construction belongs to
+#: the segment planner / AB engine, and the packages allowed to build
+#: them directly.
+SIM009_CLASSES = frozenset({"Segment", "Segmenter", "ReduceDescriptor"})
+SIM009_ALLOWED_PREFIXES = ("repro/pipeline/", "repro/core/")
+
+#: Fully-qualified callables that read the host wall clock or ambient
+#: process state.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.process_time",
+    "time.process_time_ns", "time.clock",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+})
+
+#: Any call resolving under these prefixes is ambient randomness.
+NONDET_PREFIXES = ("random.", "numpy.random.", "secrets.")
+
+#: Receiver-hint fallback for generator-method names that are ambiguous
+#: across the codebase: (last attribute of the receiver, method name).
+RECEIVER_GEN_CALLS = frozenset({
+    ("mpi", "send"), ("mpi", "wait"), ("mpi", "test"),
+    ("rank", "send"), ("rank", "wait"),
+    ("progress", "wait"), ("progress", "wait_all"),
+    ("split", "wait"),
+})
+
+#: Attribute/variable names that denote simulation timestamps (SIM003).
+TIME_NAME = re.compile(r"^(now|deadline)$|(_at|_time)$")
+
+#: Methods that schedule a simulation event (SIM011/SIM012's notion of a
+#: callback registration point): ``Simulator.schedule/at`` and
+#: ``EventQueue.push``.
+SCHEDULE_METHODS = frozenset({"schedule", "at", "push"})
+
+#: Attribute names that are integer bookkeeping, not result state — no
+#: SIM012 float-accumulation concern.
+COUNTER_NAME = re.compile(
+    r"(count|counter|seq|len$|idx|index|events|ops|inserted|consumed|"
+    r"enqueued|dequeued|charges|retries|attempts|signals|pending|spawned|"
+    r"processed|cancelled|bytes|packets|tokens|stalls|_n$)")
+
+
+def is_generator_def(fn: ast.AST) -> bool:
+    """True if ``fn`` (FunctionDef) contains a yield at its own scope."""
+    todo = list(getattr(fn, "body", []))
+    while todo:
+        node = todo.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        todo.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def callee_name(func: ast.AST) -> Optional[str]:
+    """The terminal name of a call target (``Name`` or last ``Attribute``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def is_set_expr(node: ast.AST) -> bool:
+    """Syntactically set-typed: set literal/comprehension or a bare
+    ``set(...)``/``frozenset(...)`` call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = callee_name(node.func)
+        return name in ("set", "frozenset") and not isinstance(
+            node.func, ast.Attribute)
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        # set algebra propagates set-ness from either operand
+        return is_set_expr(node.left) or is_set_expr(node.right)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# the rules
+# ---------------------------------------------------------------------------
+
+@register
+class DroppedSimGen(Rule):
+    """A generator-process call whose generator object is discarded (or
+    yielded raw) silently skips the simulated operation."""
+
+    spec = RuleSpec(
+        "SIM001",
+        "generator-process call without `yield from` (dropped SimGen)")
+    node_types = (ast.Expr, ast.Yield)
+
+    def check(self, ctx: Any, node: ast.AST) -> None:
+        value = node.value
+        if not isinstance(value, ast.Call):
+            return
+        name = ctx.gen_call_name(value)
+        if name is None:
+            return
+        if isinstance(node, ast.Expr):
+            ctx.emit("SIM001", node,
+                     f"result of generator process `{name}(...)` is "
+                     f"discarded — drive it with `yield from`")
+        else:
+            ctx.emit("SIM001", node,
+                     f"`yield {name}(...)` hands the driver a raw "
+                     f"generator — use `yield from`")
+
+
+@register
+class WallClock(Rule):
+    spec = RuleSpec(
+        "SIM002",
+        "wall-clock/ambient randomness in simulation-critical code",
+        sim_scope_only=True)
+    node_types = (ast.Call,)
+
+    def check(self, ctx: Any, node: ast.Call) -> None:
+        dotted = ctx.dotted(node.func)
+        if dotted is None:
+            return
+        if dotted in WALL_CLOCK_CALLS:
+            ctx.emit("SIM002", node,
+                     f"`{dotted}()` reads the host clock — simulation "
+                     f"code must use `Simulator.now`")
+        elif dotted.startswith(NONDET_PREFIXES):
+            ctx.emit("SIM002", node,
+                     f"`{dotted}()` is ambient randomness — use a named "
+                     f"`RngStreams` stream")
+
+
+@register
+class TimestampEquality(Rule):
+    spec = RuleSpec(
+        "SIM003", "float equality comparison on simulation timestamps")
+    node_types = (ast.Compare,)
+
+    @staticmethod
+    def _is_time_expr(node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute):
+            return bool(TIME_NAME.search(node.attr))
+        if isinstance(node, ast.Name):
+            return bool(TIME_NAME.search(node.id))
+        return False
+
+    def check(self, ctx: Any, node: ast.Compare) -> None:
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                sides = (left, right)
+                if any(self._is_time_expr(s) for s in sides) and not any(
+                        isinstance(s, ast.Constant) and s.value is None
+                        for s in sides):
+                    ctx.emit("SIM003", node,
+                             "float equality on a simulation timestamp — "
+                             "compare with an ordering or a tolerance")
+            left = right
+
+
+@register
+class UnconsumedLedger(Rule):
+    spec = RuleSpec("SIM004", "Ledger charged but never consumed")
+    node_types = (ast.FunctionDef,)
+
+    def check(self, ctx: Any, fn: ast.FunctionDef) -> None:
+        if not is_generator_def(fn):
+            return
+        assigns: dict[str, ast.AST] = {}
+        charge_receivers: set[int] = set()
+        charged: set[str] = set()
+        nodes = [n for n in ast.walk(fn)]
+        for node in nodes:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = node.value
+                if (isinstance(target, ast.Name)
+                        and isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id == "Ledger"):
+                    assigns[target.id] = node
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "charge"
+                    and isinstance(node.func.value, ast.Name)):
+                charged.add(node.func.value.id)
+                charge_receivers.add(id(node.func.value))
+        if not assigns:
+            return
+        consumed: set[str] = set()
+        for node in nodes:
+            if (isinstance(node, ast.Name) and node.id in assigns
+                    and isinstance(node.ctx, ast.Load)
+                    and id(node) not in charge_receivers):
+                consumed.add(node.id)
+        for name, site in assigns.items():
+            if name in charged and name not in consumed:
+                ctx.emit("SIM004", site,
+                         f"Ledger `{name}` accumulates charges that are "
+                         f"never consumed — the simulated CPU time is "
+                         f"lost (yield `Busy.from_ledger({name})`)")
+
+
+@register
+class MutableDefault(Rule):
+    spec = RuleSpec("SIM005", "mutable default argument")
+    node_types = (ast.FunctionDef,)
+
+    def check(self, ctx: Any, node: ast.FunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if (isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set")
+                    and not default.args and not default.keywords):
+                mutable = True
+            if mutable:
+                ctx.emit("SIM005", default,
+                         f"mutable default argument in `{node.name}` is "
+                         f"shared across calls — default to None")
+
+
+@register
+class LoopVariableCapture(Rule):
+    spec = RuleSpec(
+        "SIM006", "late-binding loop-variable capture in callback")
+    node_types = (ast.FunctionDef, ast.Lambda)
+
+    def check(self, ctx: Any, node: ast.AST) -> None:
+        if not ctx.loop_targets:
+            return
+        args = node.args
+        body = node.body if isinstance(node, ast.FunctionDef) else [node.body]
+        params = {a.arg for a in (args.posonlyargs + args.args
+                                  + args.kwonlyargs)}
+        if args.vararg:
+            params.add(args.vararg.arg)
+        if args.kwarg:
+            params.add(args.kwarg.arg)
+        active = set().union(*ctx.loop_targets)
+        free: set[str] = set()
+        todo = list(body)
+        while todo:
+            child = todo.pop()
+            # Default expressions of nested lambdas evaluate eagerly, so
+            # they bind the loop variable correctly — skip them.
+            if isinstance(child, ast.Lambda):
+                todo.extend(d for d in child.args.defaults)
+                continue
+            if isinstance(child, ast.Name) and isinstance(child.ctx,
+                                                          ast.Load):
+                free.add(child.id)
+            todo.extend(ast.iter_child_nodes(child))
+        captured = sorted((free & active) - params)
+        if captured:
+            ctx.emit("SIM006", node,
+                     f"callback captures loop variable(s) "
+                     f"{', '.join(captured)} by reference — late binding "
+                     f"will see the final value; bind via a default "
+                     f"argument (`lambda _v={captured[0]}: ...`)")
+
+
+@register
+class DirectNetworkCtor(Rule):
+    spec = RuleSpec(
+        "SIM007",
+        "direct switch/link construction outside topo/network factories")
+    node_types = (ast.Call,)
+
+    def check(self, ctx: Any, node: ast.Call) -> None:
+        if ctx.path.startswith(SIM007_ALLOWED_PREFIXES):
+            return
+        name = callee_name(node.func)
+        if name not in SIM007_CLASSES:
+            return
+        # Only flag the repro network primitives: a same-named class from
+        # an unrelated module resolves to a dotted path without any
+        # network/topo component.
+        dotted = ctx.dotted(node.func) or name
+        if dotted != name and not any(
+                part in ("network", "topo", "switch", "link")
+                for part in dotted.split(".")):
+            return
+        ctx.emit("SIM007", node,
+                 f"direct `{name}(...)` construction bypasses the "
+                 f"pluggable topology layer — configure "
+                 f"`NetParams.topology` / use `repro.topo.make_topology`")
+
+
+@register
+class NondetImport(Rule):
+    spec = RuleSpec(
+        "SIM008",
+        "direct random/time stdlib import in simulation-scoped code",
+        sim_scope_only=True)
+    node_types = (ast.Import, ast.ImportFrom)
+
+    def check(self, ctx: Any, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in SIM008_MODULES:
+                    ctx.emit("SIM008", node,
+                             f"`import {alias.name}` in simulation-scoped "
+                             f"code — use `RngStreams` named streams / "
+                             f"`Simulator.now` so runs stay deterministic")
+        elif (node.module and node.level == 0
+                and node.module.split(".")[0] in SIM008_MODULES):
+            ctx.emit("SIM008", node,
+                     f"`from {node.module} import ...` in "
+                     f"simulation-scoped code — use `RngStreams` "
+                     f"named streams / `Simulator.now` so runs stay "
+                     f"deterministic")
+
+
+@register
+class DirectSegmentCtor(Rule):
+    spec = RuleSpec(
+        "SIM009",
+        "segment/descriptor construction or hard-coded segment size "
+        "outside pipeline/core")
+    node_types = (ast.Call,)
+
+    def check(self, ctx: Any, node: ast.Call) -> None:
+        if ctx.path.startswith(SIM009_ALLOWED_PREFIXES):
+            return
+        name = callee_name(node.func)
+        if name is None:
+            return
+        if name in SIM009_CLASSES:
+            # Only flag the repro pipeline/engine primitives: a same-named
+            # class from an unrelated module resolves to a dotted path
+            # without any pipeline/core component.
+            dotted = ctx.dotted(node.func) or name
+            if dotted != name and not any(
+                    part in ("pipeline", "segmenter", "descriptor", "core")
+                    for part in dotted.split(".")):
+                return
+            ctx.emit("SIM009", node,
+                     f"direct `{name}(...)` construction outside "
+                     f"repro.pipeline/repro.core — every rank must derive "
+                     f"the identical segment plan from `PipelineParams` "
+                     f"(use `plan_segments` / the engine API)")
+            return
+        # Literal nonzero segment sizes are only the config front door's
+        # business: PipelineParams(segment_size_bytes=...) is the one
+        # sanctioned spelling.
+        if name == "PipelineParams":
+            return
+        for kw in node.keywords:
+            if (kw.arg == "segment_size_bytes"
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, int)
+                    and kw.value.value != 0):
+                ctx.emit("SIM009", kw.value,
+                         f"hard-coded `segment_size_bytes={kw.value.value}`"
+                         f" outside a `PipelineParams(...)` call — segment "
+                         f"sizing flows through the config block so every "
+                         f"rank plans identically")
+
+
+# ---------------------------------------------------------------------------
+# the determinism dataflow rules (SIM010–SIM012)
+# ---------------------------------------------------------------------------
+
+@register
+class UnorderedIteration(Rule):
+    """Iterating a set (or set-typed name) in simulation-scoped code
+    makes the visit order an accident of hash seeding and insertion
+    history — rank-keyed state must be walked in a defined order."""
+
+    spec = RuleSpec(
+        "SIM010",
+        "iteration over an unordered set of simulation state "
+        "(wrap in sorted())",
+        sim_scope_only=True)
+    #: For-loops always; comprehensions only when the sink is *ordered*
+    #: (a list) — iterating a set into another set/dict-key space cannot
+    #: leak the accidental order.
+    node_types = (ast.For, ast.ListComp)
+
+    def check(self, ctx: Any, node: ast.AST) -> None:
+        iters = ([node.iter] if isinstance(node, ast.For)
+                 else [gen.iter for gen in node.generators])
+        for it in iters:
+            reason = ctx.unordered_reason(it)
+            if reason is None:
+                continue
+            ctx.emit("SIM010", it,
+                     f"iteration over {reason} — set order is unspecified, "
+                     f"so downstream effects depend on hash/insertion "
+                     f"accidents; iterate `sorted(...)` (or a list) instead")
+
+
+@register
+class UnorderedScheduling(Rule):
+    """Scheduling simulation events from inside a loop over an unordered
+    container bakes the container's accidental order into same-time event
+    seq numbers — exactly the tiebreak dependence the perturbation
+    harness exists to catch."""
+
+    spec = RuleSpec(
+        "SIM011",
+        "event scheduled from a loop over an unordered container "
+        "(same-time order leaks from set iteration)",
+        sim_scope_only=True)
+    node_types = (ast.Call,)
+
+    def check(self, ctx: Any, node: ast.Call) -> None:
+        if not ctx.unordered_loop_stack:
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in SCHEDULE_METHODS:
+            return
+        reason = ctx.unordered_loop_stack[-1]
+        ctx.emit("SIM011", node,
+                 f"`{node.func.attr}(...)` inside a loop over {reason} — "
+                 f"the same-time event order inherits the set's accidental "
+                 f"iteration order; iterate `sorted(...)` so every run "
+                 f"schedules identically")
+
+
+@register
+class SharedFloatAccumulation(Rule):
+    """``obj.attr += value`` in an event callback reassociates float
+    arithmetic across whatever order same-time callbacks happen to fire
+    in; unless the values are exact, results differ under a reshuffled
+    schedule.  Heuristic (callback = ``on_*``/``_on_*`` or a function
+    passed to ``schedule``/``at``/``push``), so it reports as a warning
+    by default."""
+
+    spec = RuleSpec(
+        "SIM012",
+        "float accumulation into shared state from an event callback "
+        "(order-sensitive under same-time reordering)",
+        severity=WARNING, sim_scope_only=True)
+    node_types = (ast.AugAssign,)
+
+    _ACC_OPS = (ast.Add, ast.Mult, ast.Sub)
+
+    def check(self, ctx: Any, node: ast.AugAssign) -> None:
+        if not isinstance(node.target, ast.Attribute):
+            return
+        if not isinstance(node.op, self._ACC_OPS):
+            return
+        fn = ctx.current_function()
+        if fn is None or fn.name not in ctx.callback_functions:
+            return
+        attr = node.target.attr
+        if COUNTER_NAME.search(attr) or TIME_NAME.search(attr):
+            # Integer bookkeeping and clock advancement are not result
+            # folds — SIM012 is about accumulating *contributions*.
+            return
+        value = node.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, int):
+            return
+        if isinstance(value, ast.Constant) and value.value is True:
+            return
+        ctx.emit("SIM012", node,
+                 f"`{attr} {type(node.op).__name__.lower()}=` accumulates "
+                 f"into shared state from callback `{fn.name}` — same-time "
+                 f"callbacks fire in tiebreak order, so float accumulation "
+                 f"here is schedule-sensitive; fold via a deterministic "
+                 f"reduction (sorted inputs / exact dtype) instead")

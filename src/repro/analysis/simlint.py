@@ -11,7 +11,10 @@ The simulation's correctness rests on conventions ``pytest`` cannot see:
   runs non-reproducible;
 * CPU costs tallied on a :class:`~repro.sim.cpu.Ledger` must eventually be
   yielded as ``Busy`` time or handed to a consumer, or the simulated work
-  becomes free.
+  becomes free;
+* nothing may depend on the *order* of same-time events or of unordered
+  containers — that is a schedule race, the dynamic side of which is
+  checked by :mod:`repro.analysis.races`.
 
 Rules (stable IDs; suppress per line with ``# simlint: ignore[SIM001]``):
 
@@ -27,29 +30,34 @@ SIM004    ``Ledger`` charged but never consumed (missing
 SIM005    mutable default argument
 SIM006    late-binding capture of a loop variable in a callback
 SIM007    direct ``CrossbarSwitch``/``Link`` construction outside the
-          ``repro.topo``/``repro.network`` factories (use
-          ``NetParams.topology`` + ``repro.topo.make_topology``)
+          ``repro.topo``/``repro.network`` factories
 SIM008    direct ``random``/``time`` stdlib import in simulation-scoped
-          code — fault schedules and recovery timers must stay
-          deterministic and resumable, so randomness goes through
-          ``RngStreams`` named streams and time through the sim clock
+          code
 SIM009    segment/descriptor object construction or hard-coded segment
-          sizes outside ``repro.pipeline``/``repro.core`` — the
-          per-segment descriptor protocol only stays globally consistent
-          when every rank derives the identical plan from
-          ``PipelineParams``, so ad-hoc ``Segment``/``Segmenter``/
-          ``ReduceDescriptor`` construction (and literal
-          ``segment_size_bytes=`` outside a ``PipelineParams(...)``
-          call) breaks the no-negotiation invariant
+          sizes outside ``repro.pipeline``/``repro.core``
+SIM010    iteration over an unordered set of simulation state — visit
+          order is a hash/insertion accident; iterate ``sorted(...)``
+SIM011    event scheduled from inside a loop over an unordered container
+          — same-time event order leaks from set iteration
+SIM012    float accumulation into shared state from an event callback
+          (warning) — order-sensitive under same-time reordering
 ========  ==============================================================
+
+Architecture: each rule is a class registered in
+:mod:`repro.analysis.rules` with a :class:`~repro.analysis.rules.RuleSpec`
+(summary, default severity, sim-scope-only flag).  This module owns the
+*driver*: file discovery, the cross-file generator-name pass, the shared
+per-file AST walk that dispatches nodes to subscribed rules, suppression
+pragmas, and dedup/sort of findings.  Per-run policy (enable/disable,
+severity overrides, rule selection) is a
+:class:`~repro.analysis.rules.LintConfig`.
 
 Detection of dropped SimGens is *two-pass*: pass 1 collects every function
 or method defined in the linted file set and records whether it is a
 generator; a name is treated as generator-process API only when **all**
 definitions of that name are generators (ambiguous names such as ``wait`` —
 a generator on ``ProgressEngine`` but a plain method on ``Notifier`` — fall
-back to the receiver-hint table below).  This keeps the rule in sync with
-the codebase automatically as APIs grow.
+back to the receiver-hint table in :mod:`repro.analysis.rules`).
 """
 
 from __future__ import annotations
@@ -57,93 +65,31 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from .findings import Finding, normalize_path
+from .rules import (REGISTRY, RECEIVER_GEN_CALLS, LintConfig, Rule,
+                    RuleOverride, callee_name, is_generator_def, is_set_expr,
+                    rule_table)
 
-RULES: dict[str, str] = {
-    "SIM000": "syntax error (file does not parse)",
-    "SIM001": "generator-process call without `yield from` (dropped SimGen)",
-    "SIM002": "wall-clock/ambient randomness in simulation-critical code",
-    "SIM003": "float equality comparison on simulation timestamps",
-    "SIM004": "Ledger charged but never consumed",
-    "SIM005": "mutable default argument",
-    "SIM006": "late-binding loop-variable capture in callback",
-    "SIM007": "direct switch/link construction outside topo/network factories",
-    "SIM008": "direct random/time stdlib import in simulation-scoped code",
-    "SIM009": "segment/descriptor construction or hard-coded segment size "
-              "outside pipeline/core",
-}
+#: Rule-ID -> summary table (backwards-compatible face of the registry).
+RULES: dict[str, str] = rule_table()
 
-#: repro sub-packages in which SIM002 (determinism) applies.  Everything
-#: that executes *inside* the simulated world is here; report/bench/
-#: experiments drivers run outside it and may legitimately look at the
-#: host clock.
+#: repro sub-packages in which the determinism rules (SIM002/008/010/011/
+#: 012) apply.  Everything that executes *inside* the simulated world is
+#: here; report/bench/experiments drivers run outside it and may
+#: legitimately look at the host clock.
 SIM_SCOPED_PACKAGES = frozenset({
     "sim", "mpich", "gm", "network", "core", "cluster", "apps", "runtime",
     "topo", "faults",
 })
 
-#: SIM008: stdlib modules whose *import* already signals nondeterminism in
-#: simulation-scoped code (calls through them are caught by SIM002; the
-#: import-level rule catches aliasing tricks and dead imports alike).
-_SIM008_MODULES = frozenset({"random", "time"})
-
-#: SIM007: network primitives whose construction belongs to the pluggable
-#: topology layer, and the packages allowed to build them directly.
-_SIM007_CLASSES = frozenset({"CrossbarSwitch", "Link"})
-_SIM007_ALLOWED_PREFIXES = ("repro/network/", "repro/topo/")
-
-#: SIM009: segmented-pipeline primitives whose construction belongs to
-#: the segment planner / AB engine, and the packages allowed to build
-#: them directly.  ``segment_size_bytes=`` with a literal nonzero value
-#: is likewise confined — outside these packages it may only appear as a
-#: ``PipelineParams(...)`` keyword (the config front door).
-_SIM009_CLASSES = frozenset({"Segment", "Segmenter", "ReduceDescriptor"})
-_SIM009_ALLOWED_PREFIXES = ("repro/pipeline/", "repro/core/")
-
-#: Fully-qualified callables that read the host wall clock or ambient
-#: process state.
-_WALL_CLOCK_CALLS = frozenset({
-    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
-    "time.monotonic", "time.monotonic_ns", "time.process_time",
-    "time.process_time_ns", "time.clock",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.datetime.today", "datetime.date.today",
-    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
-})
-
-#: Any call resolving under these prefixes is ambient randomness.
-_NONDET_PREFIXES = ("random.", "numpy.random.", "secrets.")
-
-#: Receiver-hint fallback for generator-method names that are ambiguous
-#: across the codebase: (last attribute of the receiver, method name).
-_RECEIVER_GEN_CALLS = frozenset({
-    ("mpi", "send"), ("mpi", "wait"), ("mpi", "test"),
-    ("rank", "send"), ("rank", "wait"),
-    ("progress", "wait"), ("progress", "wait_all"),
-    ("split", "wait"),
-})
-
-#: Attribute/variable names that denote simulation timestamps (SIM003).
-_TIME_NAME = re.compile(r"^(now|deadline)$|(_at|_time)$")
+#: Type annotations that mark a name as set-typed for SIM010/SIM011.
+_SET_ANNOTATIONS = frozenset({"set", "frozenset", "Set", "FrozenSet",
+                              "AbstractSet", "MutableSet"})
 
 _IGNORE_PRAGMA = re.compile(
     r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?")
-
-
-def _is_generator_def(fn: ast.AST) -> bool:
-    """True if ``fn`` (FunctionDef) contains a yield at its own scope."""
-    todo = list(getattr(fn, "body", []))
-    while todo:
-        node = todo.pop()
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                             ast.Lambda)):
-            continue
-        if isinstance(node, (ast.Yield, ast.YieldFrom)):
-            return True
-        todo.extend(ast.iter_child_nodes(node))
-    return False
 
 
 def collect_generator_names(trees: Iterable[ast.AST]) -> frozenset[str]:
@@ -153,38 +99,97 @@ def collect_generator_names(trees: Iterable[ast.AST]) -> frozenset[str]:
         for node in ast.walk(tree):
             if isinstance(node, ast.FunctionDef):
                 kinds.setdefault(node.name, set()).add(
-                    _is_generator_def(node))
+                    is_generator_def(node))
     return frozenset(name for name, seen in kinds.items()
                      if seen == {True})
 
 
-class _FileLinter(ast.NodeVisitor):
-    """Second-pass per-file rule engine."""
+class LintContext:
+    """Everything a rule may ask about the file under analysis: location,
+    shared dataflow facts, traversal state, and the ``emit`` sink."""
 
-    def __init__(self, norm_path: str, source: str, gen_names: frozenset[str],
-                 sim_scoped: bool, select: Optional[frozenset[str]]):
+    def __init__(self, norm_path: str, source: str, tree: ast.AST,
+                 gen_names: frozenset[str], sim_scoped: bool,
+                 config: LintConfig):
         self.path = norm_path
         self.lines = source.splitlines()
         self.gen_names = gen_names
         self.sim_scoped = sim_scoped
-        self.select = select
+        self.config = config
         self.findings: list[Finding] = []
-        self._imports: dict[str, str] = {}       # alias -> module path
-        self._from_imports: dict[str, str] = {}  # name -> fully dotted
-        self._loop_targets: list[set[str]] = []
+        # traversal state, maintained by _Walker
+        self.imports: dict[str, str] = {}       # alias -> module path
+        self.from_imports: dict[str, str] = {}  # name -> fully dotted
+        self.loop_targets: list[set[str]] = []
+        #: For each enclosing loop over an unordered container, the
+        #: human-readable reason string (innermost last).
+        self.unordered_loop_stack: list[str] = []
+        self.function_stack: list[ast.FunctionDef] = []
+        # per-file dataflow pre-passes (shared by SIM010/011/012)
+        self._set_names: set[str] = set()
+        self._set_attrs: set[str] = set()
+        self.callback_functions: set[str] = set()
+        self._prescan(tree)
 
-    # -- helpers -------------------------------------------------------
-    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
-        if self.select is not None and rule not in self.select:
+    # -- pre-pass ------------------------------------------------------
+    def _prescan(self, tree: ast.AST) -> None:
+        """Collect set-typed names and callback-registered functions."""
+        from .rules import SCHEDULE_METHODS
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                if is_set_expr(node.value):
+                    for target in node.targets:
+                        self._mark_set_target(target)
+            elif isinstance(node, ast.AnnAssign):
+                if ((node.value is not None and is_set_expr(node.value))
+                        or self._is_set_annotation(node.annotation)):
+                    self._mark_set_target(node.target)
+            elif isinstance(node, ast.FunctionDef):
+                if node.name.startswith(("on_", "_on_")):
+                    self.callback_functions.add(node.name)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in SCHEDULE_METHODS):
+                for arg in node.args:
+                    if isinstance(arg, ast.Attribute):
+                        self.callback_functions.add(arg.attr)
+                    elif isinstance(arg, ast.Name):
+                        self.callback_functions.add(arg.id)
+
+    def _mark_set_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self._set_names.add(target.id)
+        elif (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            self._set_attrs.add(target.attr)
+
+    @staticmethod
+    def _is_set_annotation(ann: Optional[ast.AST]) -> bool:
+        if isinstance(ann, ast.Subscript):
+            ann = ann.value
+        if isinstance(ann, ast.Name):
+            return ann.id in _SET_ANNOTATIONS
+        if isinstance(ann, ast.Attribute):
+            return ann.attr in _SET_ANNOTATIONS
+        return False
+
+    # -- shared helpers ------------------------------------------------
+    def emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        spec = REGISTRY[rule_id].spec
+        if not self.config.enabled(spec):
+            return
+        if spec.sim_scope_only and not self.sim_scoped:
             return
         line = getattr(node, "lineno", 1)
         text = self.lines[line - 1] if 0 < line <= len(self.lines) else ""
         self.findings.append(Finding(
-            rule=rule, path=self.path, line=line,
+            rule=rule_id, path=self.path, line=line,
             col=getattr(node, "col_offset", 0) + 1,
-            message=message, line_text=text))
+            message=message, line_text=text,
+            severity=self.config.severity(spec)))
 
-    def _dotted(self, node: ast.AST) -> Optional[str]:
+    def dotted(self, node: ast.AST) -> Optional[str]:
         """Resolve a call target to a dotted module path via imports."""
         parts: list[str] = []
         while isinstance(node, ast.Attribute):
@@ -193,15 +198,15 @@ class _FileLinter(ast.NodeVisitor):
         if not isinstance(node, ast.Name):
             return None
         base = node.id
-        if base in self._imports:
-            parts.append(self._imports[base])
-        elif base in self._from_imports:
-            parts.append(self._from_imports[base])
+        if base in self.imports:
+            parts.append(self.imports[base])
+        elif base in self.from_imports:
+            parts.append(self.from_imports[base])
         else:
             parts.append(base)
         return ".".join(reversed(parts))
 
-    def _gen_call_name(self, call: ast.Call) -> Optional[str]:
+    def gen_call_name(self, call: ast.Call) -> Optional[str]:
         """Human-readable name if ``call`` targets a generator process."""
         func = call.func
         if isinstance(func, ast.Name):
@@ -217,271 +222,90 @@ class _FileLinter(ast.NodeVisitor):
                 hint = receiver.id
             elif isinstance(receiver, ast.Attribute):
                 hint = receiver.attr
-            if hint is not None and (hint, func.attr) in _RECEIVER_GEN_CALLS:
+            if hint is not None and (hint, func.attr) in RECEIVER_GEN_CALLS:
                 return f"{hint}.{func.attr}"
         return None
 
-    @staticmethod
-    def _is_time_expr(node: ast.AST) -> bool:
-        if isinstance(node, ast.Attribute):
-            return bool(_TIME_NAME.search(node.attr))
-        if isinstance(node, ast.Name):
-            return bool(_TIME_NAME.search(node.id))
-        return False
+    def current_function(self) -> Optional[ast.FunctionDef]:
+        return self.function_stack[-1] if self.function_stack else None
 
-    # -- imports (alias tracking + SIM008) -----------------------------
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            self._imports[alias.asname or alias.name.split(".")[0]] = \
-                alias.name
-            if (self.sim_scoped
-                    and alias.name.split(".")[0] in _SIM008_MODULES):
-                self._emit("SIM008", node,
-                           f"`import {alias.name}` in simulation-scoped "
-                           f"code — use `RngStreams` named streams / "
-                           f"`Simulator.now` so runs stay deterministic")
-        self.generic_visit(node)
+    def unordered_reason(self, it: ast.AST) -> Optional[str]:
+        """Why iterating ``it`` has unspecified order, or None if it is
+        fine (ordered, or defensively wrapped in ``sorted``)."""
+        if isinstance(it, ast.Call):
+            name = callee_name(it.func)
+            if name in ("sorted", "list", "tuple", "enumerate", "reversed",
+                        "range", "zip"):
+                return None
+        if is_set_expr(it):
+            return "a set expression"
+        if isinstance(it, ast.Name) and it.id in self._set_names:
+            return f"set `{it.id}`"
+        if (isinstance(it, ast.Attribute)
+                and isinstance(it.value, ast.Name)
+                and it.value.id == "self"
+                and it.attr in self._set_attrs):
+            return f"set `self.{it.attr}`"
+        return None
 
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module:
+
+class _Walker(ast.NodeVisitor):
+    """The single shared AST walk: maintains traversal context and
+    dispatches every node to the rules subscribed to its type."""
+
+    def __init__(self, ctx: LintContext, rules: list[Rule]):
+        self.ctx = ctx
+        self._dispatch: dict[type, list[Rule]] = {}
+        for rule in rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def _check(self, node: ast.AST) -> None:
+        for rule in self._dispatch.get(type(node), ()):
+            rule.check(self.ctx, node)
+
+    def visit(self, node: ast.AST) -> None:
+        ctx = self.ctx
+        if isinstance(node, ast.Import):
             for alias in node.names:
-                self._from_imports[alias.asname or alias.name] = \
-                    f"{node.module}.{alias.name}"
-            if (self.sim_scoped and node.level == 0
-                    and node.module.split(".")[0] in _SIM008_MODULES):
-                self._emit("SIM008", node,
-                           f"`from {node.module} import ...` in "
-                           f"simulation-scoped code — use `RngStreams` "
-                           f"named streams / `Simulator.now` so runs stay "
-                           f"deterministic")
-        self.generic_visit(node)
-
-    # -- SIM001: dropped SimGen ---------------------------------------
-    def visit_Expr(self, node: ast.Expr) -> None:
-        if isinstance(node.value, ast.Call):
-            name = self._gen_call_name(node.value)
-            if name is not None:
-                self._emit("SIM001", node,
-                           f"result of generator process `{name}(...)` is "
-                           f"discarded — drive it with `yield from`")
-        self.generic_visit(node)
-
-    def visit_Yield(self, node: ast.Yield) -> None:
-        if isinstance(node.value, ast.Call):
-            name = self._gen_call_name(node.value)
-            if name is not None:
-                self._emit("SIM001", node,
-                           f"`yield {name}(...)` hands the driver a raw "
-                           f"generator — use `yield from`")
-        self.generic_visit(node)
-
-    # -- SIM002: wall clock / ambient randomness ----------------------
-    def visit_Call(self, node: ast.Call) -> None:
-        if self.sim_scoped:
-            dotted = self._dotted(node.func)
-            if dotted is not None:
-                if dotted in _WALL_CLOCK_CALLS:
-                    self._emit("SIM002", node,
-                               f"`{dotted}()` reads the host clock — "
-                               f"simulation code must use `Simulator.now`")
-                elif dotted.startswith(_NONDET_PREFIXES):
-                    self._emit("SIM002", node,
-                               f"`{dotted}()` is ambient randomness — use "
-                               f"a named `RngStreams` stream")
-        self._check_direct_network_ctor(node)
-        self._check_direct_segment_ctor(node)
-        self.generic_visit(node)
-
-    # -- SIM007: direct switch/link construction ----------------------
-    def _check_direct_network_ctor(self, node: ast.Call) -> None:
-        if self.path.startswith(_SIM007_ALLOWED_PREFIXES):
-            return
-        func = node.func
-        if isinstance(func, ast.Name):
-            name = func.id
-        elif isinstance(func, ast.Attribute):
-            name = func.attr
+                ctx.imports[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name
+            self._check(node)
+            self.generic_visit(node)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module:
+                for alias in node.names:
+                    ctx.from_imports[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+            self._check(node)
+            self.generic_visit(node)
+        elif isinstance(node, ast.For):
+            self._check(node)
+            targets = {n.id for n in ast.walk(node.target)
+                       if isinstance(n, ast.Name)}
+            reason = ctx.unordered_reason(node.iter)
+            ctx.loop_targets.append(targets)
+            if reason is not None:
+                ctx.unordered_loop_stack.append(reason)
+            self.generic_visit(node)
+            if reason is not None:
+                ctx.unordered_loop_stack.pop()
+            ctx.loop_targets.pop()
+        elif isinstance(node, ast.FunctionDef):
+            # Checked in the *enclosing* loop context (SIM006), then the
+            # body gets a fresh one.
+            self._check(node)
+            ctx.function_stack.append(node)
+            saved_loops, ctx.loop_targets = ctx.loop_targets, []
+            saved_unordered, ctx.unordered_loop_stack = \
+                ctx.unordered_loop_stack, []
+            self.generic_visit(node)
+            ctx.unordered_loop_stack = saved_unordered
+            ctx.loop_targets = saved_loops
+            ctx.function_stack.pop()
         else:
-            return
-        if name not in _SIM007_CLASSES:
-            return
-        # Only flag the repro network primitives: a same-named class from
-        # an unrelated module resolves to a dotted path without any
-        # network/topo component.
-        dotted = self._dotted(func) or name
-        if dotted != name and not any(
-                part in ("network", "topo", "switch", "link")
-                for part in dotted.split(".")):
-            return
-        self._emit("SIM007", node,
-                   f"direct `{name}(...)` construction bypasses the "
-                   f"pluggable topology layer — configure "
-                   f"`NetParams.topology` / use `repro.topo.make_topology`")
-
-    # -- SIM009: segment/descriptor construction outside pipeline/core --
-    def _check_direct_segment_ctor(self, node: ast.Call) -> None:
-        if self.path.startswith(_SIM009_ALLOWED_PREFIXES):
-            return
-        func = node.func
-        if isinstance(func, ast.Name):
-            name = func.id
-        elif isinstance(func, ast.Attribute):
-            name = func.attr
-        else:
-            return
-        if name in _SIM009_CLASSES:
-            # Only flag the repro pipeline/engine primitives: a same-named
-            # class from an unrelated module resolves to a dotted path
-            # without any pipeline/core component.
-            dotted = self._dotted(func) or name
-            if dotted != name and not any(
-                    part in ("pipeline", "segmenter", "descriptor", "core")
-                    for part in dotted.split(".")):
-                return
-            self._emit("SIM009", node,
-                       f"direct `{name}(...)` construction outside "
-                       f"repro.pipeline/repro.core — every rank must derive "
-                       f"the identical segment plan from `PipelineParams` "
-                       f"(use `plan_segments` / the engine API)")
-            return
-        # Literal nonzero segment sizes are only the config front door's
-        # business: PipelineParams(segment_size_bytes=...) is the one
-        # sanctioned spelling.
-        if name == "PipelineParams":
-            return
-        for kw in node.keywords:
-            if (kw.arg == "segment_size_bytes"
-                    and isinstance(kw.value, ast.Constant)
-                    and isinstance(kw.value.value, int)
-                    and kw.value.value != 0):
-                self._emit("SIM009", kw.value,
-                           f"hard-coded `segment_size_bytes={kw.value.value}`"
-                           f" outside a `PipelineParams(...)` call — segment "
-                           f"sizing flows through the config block so every "
-                           f"rank plans identically")
-
-    # -- SIM003: float equality on timestamps -------------------------
-    def visit_Compare(self, node: ast.Compare) -> None:
-        left = node.left
-        for op, right in zip(node.ops, node.comparators):
-            if isinstance(op, (ast.Eq, ast.NotEq)):
-                sides = (left, right)
-                if any(self._is_time_expr(s) for s in sides) and not any(
-                        isinstance(s, ast.Constant) and s.value is None
-                        for s in sides):
-                    self._emit("SIM003", node,
-                               "float equality on a simulation timestamp — "
-                               "compare with an ordering or a tolerance")
-            left = right
-        self.generic_visit(node)
-
-    # -- SIM004/SIM005 + loop-context maintenance ---------------------
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_mutable_defaults(node)
-        if _is_generator_def(node):
-            self._check_unconsumed_ledgers(node)
-        if self._loop_targets:
-            self._check_loop_capture(node, node.args, node.body)
-        # Function bodies get a fresh loop context.
-        saved, self._loop_targets = self._loop_targets, []
-        self.generic_visit(node)
-        self._loop_targets = saved
-
-    def _check_mutable_defaults(self, node: ast.FunctionDef) -> None:
-        defaults = list(node.args.defaults) + [
-            d for d in node.args.kw_defaults if d is not None]
-        for default in defaults:
-            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
-            if (isinstance(default, ast.Call)
-                    and isinstance(default.func, ast.Name)
-                    and default.func.id in ("list", "dict", "set")
-                    and not default.args and not default.keywords):
-                mutable = True
-            if mutable:
-                self._emit("SIM005", default,
-                           f"mutable default argument in `{node.name}` is "
-                           f"shared across calls — default to None")
-
-    def _check_unconsumed_ledgers(self, fn: ast.FunctionDef) -> None:
-        """In a generator, a charged local Ledger must be consumed —
-        yielded via ``Busy.from_ledger``, read (``.total``/``.charges``),
-        passed to another call, or returned."""
-        assigns: dict[str, ast.AST] = {}
-        charge_receivers: set[int] = set()
-        charged: set[str] = set()
-        nodes = [n for n in ast.walk(fn)]
-        for node in nodes:
-            if isinstance(node, ast.Assign) and len(node.targets) == 1:
-                target = node.targets[0]
-                value = node.value
-                if (isinstance(target, ast.Name)
-                        and isinstance(value, ast.Call)
-                        and isinstance(value.func, ast.Name)
-                        and value.func.id == "Ledger"):
-                    assigns[target.id] = node
-            if (isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and node.func.attr == "charge"
-                    and isinstance(node.func.value, ast.Name)):
-                charged.add(node.func.value.id)
-                charge_receivers.add(id(node.func.value))
-        if not assigns:
-            return
-        consumed: set[str] = set()
-        for node in nodes:
-            if (isinstance(node, ast.Name) and node.id in assigns
-                    and isinstance(node.ctx, ast.Load)
-                    and id(node) not in charge_receivers):
-                consumed.add(node.id)
-        for name, site in assigns.items():
-            if name in charged and name not in consumed:
-                self._emit("SIM004", site,
-                           f"Ledger `{name}` accumulates charges that are "
-                           f"never consumed — the simulated CPU time is "
-                           f"lost (yield `Busy.from_ledger({name})`)")
-
-    # -- SIM006: loop-variable capture --------------------------------
-    def visit_For(self, node: ast.For) -> None:
-        targets = {n.id for n in ast.walk(node.target)
-                   if isinstance(n, ast.Name)}
-        self._loop_targets.append(targets)
-        self.generic_visit(node)
-        self._loop_targets.pop()
-
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        if self._loop_targets:
-            self._check_loop_capture(node, node.args, [node.body])
-        self.generic_visit(node)
-
-    def _check_loop_capture(self, node: ast.AST, args: ast.arguments,
-                            body: Sequence[ast.AST]) -> None:
-        params = {a.arg for a in (args.posonlyargs + args.args
-                                  + args.kwonlyargs)}
-        if args.vararg:
-            params.add(args.vararg.arg)
-        if args.kwarg:
-            params.add(args.kwarg.arg)
-        active = set().union(*self._loop_targets)
-        free: set[str] = set()
-        todo = list(body)
-        while todo:
-            child = todo.pop()
-            # Default expressions of nested lambdas evaluate eagerly, so
-            # they bind the loop variable correctly — skip them.
-            if isinstance(child, ast.Lambda):
-                todo.extend(d for d in child.args.defaults)
-                continue
-            if isinstance(child, ast.Name) and isinstance(child.ctx,
-                                                          ast.Load):
-                free.add(child.id)
-            todo.extend(ast.iter_child_nodes(child))
-        captured = sorted((free & active) - params)
-        if captured:
-            self._emit("SIM006", node,
-                       f"callback captures loop variable(s) "
-                       f"{', '.join(captured)} by reference — late binding "
-                       f"will see the final value; bind via a default "
-                       f"argument (`lambda _v={captured[0]}: ...`)")
+            self._check(node)
+            self.generic_visit(node)
 
 
 # ----------------------------------------------------------------------
@@ -505,8 +329,9 @@ class Linter:
     """Two-pass linter over a set of files/directories."""
 
     def __init__(self, select: Optional[Iterable[str]] = None,
-                 sim_scope: Optional[Iterable[str]] = None):
-        self.select = frozenset(select) if select is not None else None
+                 sim_scope: Optional[Iterable[str]] = None,
+                 overrides: Optional[dict[str, RuleOverride]] = None):
+        self.config = LintConfig(select=select, overrides=overrides)
         self.sim_scope = (frozenset(sim_scope) if sim_scope is not None
                           else SIM_SCOPED_PACKAGES)
 
@@ -535,6 +360,16 @@ class Linter:
         return (len(parts) >= 3 and parts[0] == "repro"
                 and parts[1] in self.sim_scope)
 
+    def _active_rules(self, sim_scoped: bool) -> list[Rule]:
+        rules = []
+        for cls in REGISTRY.values():
+            if not self.config.enabled(cls.spec):
+                continue
+            if cls.spec.sim_scope_only and not sim_scoped:
+                continue
+            rules.append(cls())
+        return rules
+
     # ------------------------------------------------------------------
     def lint_paths(self, paths: Iterable[Path | str]) -> list[Finding]:
         files = self.discover(paths)
@@ -561,10 +396,14 @@ class Linter:
 
         for file, tree in trees.items():
             norm = normalize_path(file)
-            linter = _FileLinter(norm, sources[file], gen_names,
-                                 self._sim_scoped(norm), self.select)
-            linter.visit(tree)
-            for finding in linter.findings:
+            sim_scoped = self._sim_scoped(norm)
+            ctx = LintContext(norm, sources[file], tree, gen_names,
+                              sim_scoped, self.config)
+            rules = self._active_rules(sim_scoped)
+            for rule in rules:
+                rule.begin_file(ctx, tree)
+            _Walker(ctx, rules).visit(tree)
+            for finding in ctx.findings:
                 ignored = _suppressed_rules(finding.line_text)
                 if ignored is not None and (not ignored
                                             or finding.rule in ignored):

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..errors import AbProtocolError
 from ..mpich.operations import Op
+from ..sim import access
 
 
 class ReduceDescriptor:
@@ -116,23 +117,39 @@ class ReduceDescriptor:
 
 
 class DescriptorQueue:
-    """FIFO of outstanding descriptors with sender-based matching."""
+    """FIFO of outstanding descriptors with sender-based matching.
 
-    __slots__ = ("_entries", "enqueued", "dequeued", "max_len")
+    Shared between the synchronous MPI_Reduce path and the asynchronous
+    signal handlers, so every mutation/lookup is access-traced for the
+    happens-before checker (:mod:`repro.analysis.races`): the FIFO match
+    rule makes queue *order* semantically meaningful, which is exactly
+    what an arbitrary same-timestamp event order could silently change.
+    """
+
+    __slots__ = ("_entries", "enqueued", "dequeued", "max_len", "owner")
 
     def __init__(self) -> None:
         self._entries: list[ReduceDescriptor] = []
         self.enqueued = 0
         self.dequeued = 0
         self.max_len = 0
+        #: World rank of the owning engine (None in raw unit tests);
+        #: identifies this queue in access traces.
+        self.owner: Optional[int] = None
 
     def push(self, desc: ReduceDescriptor) -> None:
+        if access.TRACER is not None:
+            access.trace(access.WRITE, ("descriptors", self.owner),
+                         note=f"push inst={desc.instance} seg={desc.seg}")
         self._entries.append(desc)
         self.enqueued += 1
         self.max_len = max(self.max_len, len(self._entries))
 
     def match(self, sender_world: int) -> Optional[ReduceDescriptor]:
         """Oldest descriptor still waiting on ``sender_world``."""
+        if access.TRACER is not None:
+            access.trace(access.READ, ("descriptors", self.owner),
+                         note=f"match src={sender_world}")
         for desc in self._entries:
             if desc.is_pending(sender_world):
                 return desc
@@ -150,6 +167,10 @@ class DescriptorQueue:
         segmented packets carry their (instance, seg) identity and are
         matched on it exactly.
         """
+        if access.TRACER is not None:
+            access.trace(access.READ, ("descriptors", self.owner),
+                         note=f"match_segment src={sender_world} "
+                              f"inst={instance} seg={seg}")
         for desc in self._entries:
             if (desc.seg == seg and desc.instance == instance
                     and desc.context_id == context_id
@@ -158,6 +179,9 @@ class DescriptorQueue:
         return None
 
     def remove(self, desc: ReduceDescriptor) -> None:
+        if access.TRACER is not None:
+            access.trace(access.WRITE, ("descriptors", self.owner),
+                         note=f"remove inst={desc.instance} seg={desc.seg}")
         if desc.removed:
             raise AbProtocolError(
                 f"descriptor {desc.instance} removed twice")

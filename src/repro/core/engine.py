@@ -44,7 +44,9 @@ from ..mpich.collectives.reduce import reduce_nab
 from ..mpich.communicator import Communicator
 from ..mpich.message import TAG_REDUCE, AbHeader, Envelope
 from ..mpich.operations import Op
+from ..sim import access
 from ..sim.cpu import Ledger
+from ..sim.events import PRIORITY_TIMER
 from ..sim.process import Busy, WaitFor
 from .delay import exit_delay_window
 from .descriptor import DescriptorQueue, ReduceDescriptor
@@ -87,6 +89,22 @@ class AbStats:
         self.sends_rerouted = 0
 
 
+#: Ops whose element-wise fold is exact and commutative for every dtype,
+#: so fold *order* can never change the result.
+_ORDER_FREE_OPS = frozenset({"min", "max", "band", "bor", "bxor"})
+
+
+def _fold_order_sensitive(op: Op, acc: np.ndarray) -> bool:
+    """True if reordering folds into ``acc`` could change the result:
+    non-commutative user ops always; float sum/prod reassociate; integer
+    and boolean arithmetic is exact."""
+    if not op.commutative:
+        return True
+    if op.name in _ORDER_FREE_OPS:
+        return False
+    return acc.dtype.kind not in "iub"
+
+
 class AbEngine:
     """Application-bypass state machine for one rank."""
 
@@ -98,7 +116,9 @@ class AbEngine:
         self.params = params
         self.nic = rank.node.nic
         self.descriptors = DescriptorQueue()
+        self.descriptors.owner = rank.rank
         self.unexpected = AbUnexpectedQueue()
+        self.unexpected.owner = rank.rank
         self.stats = AbStats()
         #: Protocol-invariant monitor (repro.analysis.invariants), shared
         #: cluster-wide via the NIC; None in unmonitored runs.
@@ -299,8 +319,12 @@ class AbEngine:
                 # pending when it fires, progress is forced, crashed
                 # subtrees are healed, and after the retry budget the
                 # partial sum is propagated (reported via INV-FAULT).
+                # TIMER class: a timeout due exactly when the completing
+                # contribution lands observes the completion (and is
+                # cancelled) rather than racing it.
                 desc.timeout_event = self.sim.schedule(
-                    self._timeout_us, self._on_descriptor_timeout, desc, 1)
+                    self._timeout_us, self._on_descriptor_timeout, desc, 1,
+                    priority=PRIORITY_TIMER)
 
             # Early arrivals already sit in the AB unexpected queue: consume
             # them directly (their only copy already happened on arrival).
@@ -435,6 +459,18 @@ class AbEngine:
                 data: np.ndarray, ledger: Ledger) -> None:
         """Fold one child's contribution into the descriptor."""
         ledger.charge(self.costs.op_us(desc.acc.size), "op")
+        if access.TRACER is not None:
+            # Fold-buffer write for the happens-before checker: float
+            # sum/prod (and any non-commutative user op) reassociate, so
+            # two same-timestamp unordered folds into one accumulator are
+            # a latent schedule race even when today's FIFO order happens
+            # to be consistent.
+            access.trace(
+                access.WRITE,
+                ("acc", self.rank.rank, desc.context_id, desc.instance,
+                 desc.seg),
+                order_sensitive=_fold_order_sensitive(desc.op, desc.acc),
+                note=f"fold child={child_world}")
         desc.op.apply(desc.acc, data.reshape(desc.acc.shape))
         desc.mark_done(child_world)
         in_sync = self._sync_depth > 0
@@ -461,7 +497,8 @@ class AbEngine:
                 # is progress — restart the timer and the retry budget.
                 self.sim.cancel(desc.timeout_event)
                 desc.timeout_event = self.sim.schedule(
-                    self._timeout_us, self._on_descriptor_timeout, desc, 1)
+                    self._timeout_us, self._on_descriptor_timeout, desc, 1,
+                    priority=PRIORITY_TIMER)
         if desc.complete:
             self._finish(desc, ledger, completed_async=not in_sync)
 
@@ -625,7 +662,7 @@ class AbEngine:
             self.stats.descriptor_retries += 1
             desc.timeout_event = self.sim.schedule(
                 self._timeout_us, self._on_descriptor_timeout, desc,
-                attempt + 1)
+                attempt + 1, priority=PRIORITY_TIMER)
             return
         for child in desc.pending_children():
             desc.mark_done(child)

@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from ..mpich.message import AbHeader
+from ..sim import access
 
 
 class AbUnexpectedEntry:
@@ -32,18 +33,30 @@ class AbUnexpectedEntry:
 
 
 class AbUnexpectedQueue:
-    """FIFO of early AB messages, matched by sender."""
+    """FIFO of early AB messages, matched by sender.
 
-    __slots__ = ("_entries", "inserted", "consumed", "max_len")
+    Access-traced like :class:`~repro.core.descriptor.DescriptorQueue`:
+    the per-sender FIFO take rule makes insertion order meaningful, so
+    same-timestamp puts/takes from unordered events are latent schedule
+    races the happens-before checker must see.
+    """
+
+    __slots__ = ("_entries", "inserted", "consumed", "max_len", "owner")
 
     def __init__(self) -> None:
         self._entries: list[AbUnexpectedEntry] = []
         self.inserted = 0
         self.consumed = 0
         self.max_len = 0
+        #: World rank of the owning engine (None in raw unit tests).
+        self.owner: Optional[int] = None
 
     def put(self, src_world: int, header: AbHeader, data: np.ndarray,
             arrived_at: float) -> AbUnexpectedEntry:
+        if access.TRACER is not None:
+            access.trace(access.WRITE, ("ab_unexpected", self.owner),
+                         note=f"put src={src_world} "
+                              f"inst={header.instance} seg={header.seg}")
         entry = AbUnexpectedEntry(src_world, header, data, arrived_at)
         self._entries.append(entry)
         self.inserted += 1
@@ -52,6 +65,9 @@ class AbUnexpectedQueue:
 
     def take(self, src_world: int) -> Optional[AbUnexpectedEntry]:
         """Oldest entry from ``src_world`` (FIFO per sender)."""
+        if access.TRACER is not None:
+            access.trace(access.WRITE, ("ab_unexpected", self.owner),
+                         note=f"take src={src_world}")
         for i, entry in enumerate(self._entries):
             if entry.src_world == src_world:
                 del self._entries[i]
@@ -64,6 +80,10 @@ class AbUnexpectedQueue:
         """Exact-match take for a segmented entry (repro.pipeline): the
         per-sender FIFO rule cannot tell two buffered segments of the same
         instance apart, so segmented consumers name the segment."""
+        if access.TRACER is not None:
+            access.trace(access.WRITE, ("ab_unexpected", self.owner),
+                         note=f"take_for src={src_world} inst={instance} "
+                              f"seg={seg}")
         for i, entry in enumerate(self._entries):
             if (entry.src_world == src_world and entry.header.seg == seg
                     and entry.header.instance == instance):

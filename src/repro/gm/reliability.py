@@ -22,6 +22,8 @@ configuration bypasses it entirely (DESIGN.md §6.8).
 from __future__ import annotations
 
 from collections import deque
+
+from ..sim.events import PRIORITY_TIMER
 from .packet import Packet, PacketType
 
 
@@ -91,8 +93,13 @@ class ReliableChannel:
         if len(peer.unacked) > self.stats.max_window:
             self.stats.max_window = len(peer.unacked)
         if peer.timer is None:
+            # TIMER class: an RTO due exactly when the ACK lands must see
+            # the ACK applied first — otherwise the go-back-N window
+            # retransmits or not depending on the same-instant tiebreak
+            # (a schedule race the perturbation harness flagged).
             peer.timer = self.sim.schedule(self.rto_us, self._check_timer,
-                                           packet.dst)
+                                           packet.dst,
+                                           priority=PRIORITY_TIMER)
 
     def handle_ack(self, src: int, acked_seq: int) -> None:
         self.stats.acks_received += 1
@@ -112,7 +119,8 @@ class ReliableChannel:
         oldest_sent = peer.unacked[0][2]
         due = oldest_sent + self.rto_us
         if self.sim.now + 1e-9 < due:
-            peer.timer = self.sim.at(due, self._check_timer, dst)
+            peer.timer = self.sim.at(due, self._check_timer, dst,
+                                     priority=PRIORITY_TIMER)
             return
         # Timeout: go-back-N — retransmit the whole outstanding window.
         self.stats.timer_fires += 1
@@ -120,7 +128,8 @@ class ReliableChannel:
             entry[2] = self.sim.now
             self.stats.retransmissions += 1
             self.nic.retransmit(entry[1])
-        peer.timer = self.sim.schedule(self.rto_us, self._check_timer, dst)
+        peer.timer = self.sim.schedule(self.rto_us, self._check_timer, dst,
+                                       priority=PRIORITY_TIMER)
 
     # ------------------------------------------------------------------
     # fault-injection entry points (repro.faults rank_crash)

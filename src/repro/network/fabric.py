@@ -12,7 +12,14 @@ Responsibilities:
   sender (paper Sec. IV-D); topologies keep routes deterministic per pair
   so multi-hop paths compose into the same guarantee, and the runtime
   invariant monitor (INV-FIFO) checks it on every delivery;
-* invoke a delivery callback registered by the destination NIC.
+* invoke a delivery callback registered by the destination NIC;
+* arbitrate same-instant port contention deterministically: injections
+  are buffered per simulation instant and granted links at the end of the
+  instant in sorted ``(src, dst)`` order (stable, so per-pair FIFO is the
+  injection order).  Without this, which of two simultaneous senders wins
+  a shared switch port — and therefore every downstream queueing delay —
+  would depend on the arbitrary event tiebreak, a schedule race the
+  perturbation harness (:mod:`repro.analysis.races`) flags.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..config import NetParams
+from ..sim.events import PRIORITY_ARBITRATE
 
 DeliveryFn = Callable[[object, float], None]
 
@@ -58,6 +66,10 @@ class Fabric:
         self._last_delivery: dict[tuple[int, int], float] = {}
         self.packets_delivered = 0
         self.bytes_delivered = 0
+        #: Injections buffered during the current instant, granted links
+        #: by :meth:`_arbitrate` in sorted order (see module doc).
+        self._pending: list[tuple[object, int, int, float]] = []
+        self._arbitrate_scheduled = False
 
     def attach(self, node_id: int, sink: DeliveryFn) -> None:
         """Register the destination NIC's packet-arrival callback."""
@@ -65,19 +77,42 @@ class Fabric:
             raise ValueError(f"node {node_id} already attached")
         self._sinks[node_id] = sink
 
-    def inject(self, packet, src: int, dst: int, at: float) -> float:
+    def inject(self, packet, src: int, dst: int, at: float) -> None:
         """Send ``packet`` from node ``src`` to node ``dst``, first byte
         hitting the wire no earlier than ``at``.
 
-        Returns the computed arrival time; the destination sink is invoked
-        at that simulation time with ``(packet, arrival)``.
+        The transit itself is computed at the end of the current instant
+        (the ``PRIORITY_ARBITRATE`` event class) so same-instant port
+        contention resolves in a schedule-independent order; the
+        destination sink is invoked at the computed arrival time with
+        ``(packet, arrival)``.
         """
         if src == dst:
             raise ValueError("loopback traffic bypasses the fabric")
-        sink = self._sinks[dst]
-        if sink is None:
+        if self._sinks[dst] is None:
             raise RuntimeError(f"no NIC attached at node {dst}")
+        self._pending.append((packet, src, dst, at))
+        if not self._arbitrate_scheduled:
+            self._arbitrate_scheduled = True
+            self.sim.at(self.sim.now, self._arbitrate,
+                        priority=PRIORITY_ARBITRATE)
 
+    def _arbitrate(self) -> None:
+        """Grant links to every injection of the instant, in sorted
+        ``(src, dst)`` order.  The sort is stable, so packets of one pair
+        keep their injection order (per-pair FIFO); across pairs the
+        arbitration order — who wins a contended port, whose drop draw
+        comes first on a lossy fabric — is a pure function of the traffic,
+        never of the event tiebreak."""
+        self._arbitrate_scheduled = False
+        batch = self._pending
+        self._pending = []
+        batch.sort(key=lambda entry: (entry[1], entry[2]))
+        for packet, src, dst, at in batch:
+            self._transit(packet, src, dst, at)
+
+    def _transit(self, packet, src: int, dst: int, at: float) -> float:
+        sink = self._sinks[dst]
         wire_bytes = packet.wire_bytes(self.params.header_bytes)
         # Hop-by-hop cut-through timing along the topology's route.
         arrival = self.topology.transit(at, src, dst, wire_bytes)

@@ -31,6 +31,13 @@ Commands:
     all under the invariant monitor (INV-SEGMENT included), written to
     ``BENCH_pipeline_smoke.json`` plus ``pipeline-invariant-report.json``.
 
+``race-smoke [--scenario S ...] [--runs N] [--jobs N] [--out DIR]``
+    The determinism gate: run the named smoke scenarios (default: fig7 +
+    pipeline) under the schedule-perturbation harness
+    (:mod:`repro.analysis.races`) — FIFO baseline plus N tiebreak-shuffled
+    schedules per point — and fail on any bit-level divergence of metrics,
+    counters, or invariant reports.  Writes ``race-report.json``.
+
 (The compare gate lives at ``python -m repro.orchestrate.compare``.)
 """
 
@@ -120,6 +127,20 @@ def _cmd_smoke_pipeline(args: argparse.Namespace) -> int:
                            "pipeline-invariant-report.json")
 
 
+def _cmd_race_smoke(args: argparse.Namespace) -> int:
+    from ..analysis import races
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    race_argv = ["--runs", str(args.runs), "--seed", str(args.seed),
+                 "--jobs", str(args.jobs),
+                 "--out", str(out_dir / "race-report.json")]
+    for scenario in args.scenario:
+        race_argv += ["--scenario", scenario]
+    if args.iterations is not None:
+        race_argv += ["--iterations", str(args.iterations)]
+    return races.main(race_argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.orchestrate",
@@ -162,6 +183,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_pipe.add_argument("--iterations", type=int, default=6)
     p_pipe.add_argument("--out", default="ci-artifacts")
 
+    p_race = sub.add_parser("race-smoke",
+                            help="schedule-perturbation determinism gate "
+                                 "over the CI smoke scenarios")
+    p_race.add_argument("--scenario", action="append",
+                        default=None,
+                        help="scenario name (repeatable; default: "
+                             "fig7 + pipeline)")
+    p_race.add_argument("--runs", type=int, default=8,
+                        help="perturbed schedules per point")
+    p_race.add_argument("--jobs", type=int, default=2)
+    p_race.add_argument("--seed", type=int, default=1)
+    p_race.add_argument("--iterations", type=int, default=None,
+                        help="override per-point benchmark iterations")
+    p_race.add_argument("--out", default="ci-artifacts")
+
     try:
         args = parser.parse_args(argv)
     except SystemExit as exc:
@@ -176,6 +212,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_smoke_faults(args)
     if args.command == "smoke-pipeline":
         return _cmd_smoke_pipeline(args)
+    if args.command == "race-smoke":
+        if args.scenario is None:
+            args.scenario = ["fig7", "pipeline"]
+        return _cmd_race_smoke(args)
     parser.print_help()
     return 2
 

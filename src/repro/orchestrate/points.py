@@ -149,12 +149,17 @@ class SweepPoint:
     #: Collect an InvariantMonitor report alongside the metrics (used by
     #: the CI smoke sweep so protocol violations surface as artifacts).
     collect_invariants: bool = False
+    #: Schedule-perturbation mode (repro.analysis.races): when set, every
+    #: event queue built for this point runs with the seeded
+    #: tiebreak-shuffle, so same-time events fire in a deterministic
+    #: pseudo-random permutation instead of FIFO order.  None = FIFO.
+    tiebreak_seed: Optional[int] = None
     #: Free-form executor options (e.g. the chaos kind's failure script).
     options: dict = field(default_factory=dict)
 
     def key(self) -> dict:
         """The identity the merge and BENCH_*.json are keyed by."""
-        return {
+        key = {
             "experiment": self.experiment,
             "kind": self.kind,
             "variant": self.config.variant(),
@@ -165,6 +170,11 @@ class SweepPoint:
             "seed": self.config.seed,
             "iterations": self.iterations,
         }
+        if self.tiebreak_seed is not None:
+            # Only present in race-check sweeps, so ordinary BENCH keys
+            # stay byte-identical to previous schema-1 files.
+            key["tiebreak"] = self.tiebreak_seed
+        return key
 
     def label(self) -> str:
         return (f"{self.experiment}/{self.kind} n={self.config.size} "
@@ -172,7 +182,7 @@ class SweepPoint:
                 f"build={self.build} seed={self.config.seed}")
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "experiment": self.experiment,
             "kind": self.kind,
             "config": self.config.to_dict(),
@@ -184,6 +194,9 @@ class SweepPoint:
             "collect_invariants": self.collect_invariants,
             "options": self.options,
         }
+        if self.tiebreak_seed is not None:
+            d["tiebreak_seed"] = self.tiebreak_seed
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "SweepPoint":
@@ -197,6 +210,8 @@ class SweepPoint:
             iterations=int(d.get("iterations", 100)),
             warmup=int(d.get("warmup", 3)),
             collect_invariants=bool(d.get("collect_invariants", False)),
+            tiebreak_seed=(None if d.get("tiebreak_seed") is None
+                           else int(d["tiebreak_seed"])),
             options=dict(d.get("options", {})),
         )
 
@@ -482,10 +497,18 @@ def execute_point(point: SweepPoint) -> PointResult:
             reports.append(m)
             return m
         set_default_monitor_factory(_factory)
+    from ..sim.events import get_default_tiebreak_seed, \
+        set_default_tiebreak_seed
+    prev_tiebreak = get_default_tiebreak_seed()
+    if point.tiebreak_seed is not None:
+        set_default_tiebreak_seed(point.tiebreak_seed)
     t0 = time.perf_counter()
     try:
         result, metrics, counters = runner(point, config)
     finally:
+        # Restore unconditionally: pool workers are reused across points,
+        # so a leaked tiebreak seed would silently perturb later points.
+        set_default_tiebreak_seed(prev_tiebreak)
         if point.collect_invariants:
             set_default_monitor_factory(None)
             monitor = reports

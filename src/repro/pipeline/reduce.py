@@ -38,6 +38,7 @@ from ..mpich.communicator import Communicator
 from ..mpich.message import TAG_REDUCE, AbHeader
 from ..mpich.operations import Op
 from ..sim.cpu import Ledger
+from ..sim.events import PRIORITY_TIMER
 from ..sim.process import Busy, WaitFor
 from ..core.delay import exit_delay_window
 from ..core.descriptor import ReduceDescriptor
@@ -388,7 +389,8 @@ class AbPipeline:
                                 children=len(children_world))
         if engine._timeout_us > 0.0:
             desc.timeout_event = self.sim.schedule(
-                engine._timeout_us, engine._on_descriptor_timeout, desc, 1)
+                engine._timeout_us, engine._on_descriptor_timeout, desc, 1,
+                priority=PRIORITY_TIMER)
         # Stalled arrivals (window was full when they landed) are consumed
         # straight from the AB unexpected queue — may complete the
         # descriptor immediately and re-enter _advance via on_complete.

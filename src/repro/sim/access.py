@@ -1,0 +1,75 @@
+"""Shared-state access tracing (the happens-before checker's data feed).
+
+The determinism sanitizer (:mod:`repro.analysis.races`) needs to know, per
+simulation event, which pieces of shared engine state were read or written
+— descriptor tables, fold buffers, NIC receive queues, AB unexpected
+queues.  Rather than wrapping those hot objects in proxies, the owning code
+calls :func:`trace` at each mutation/lookup site, guarded by a single
+module-global ``None`` check so unmonitored runs pay one attribute load
+per site (the same pattern as ``Simulator.monitors`` and ``Nic.monitor``).
+
+The tracer also receives queue-level callbacks from
+:class:`~repro.sim.events.EventQueue` (``on_event_scheduled`` /
+``on_event_begin``) so it can attribute every access to the event during
+which it happened and reconstruct the schedule DAG (which event scheduled
+which) — the happens-before relation among same-timestamp events.
+
+This module is deliberately tiny and dependency-free: it lives in
+``repro.sim`` so the sim core can import it without touching
+``repro.analysis``, and the concrete tracer class lives in
+``repro.analysis.races`` where the analysis belongs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol, Tuple
+
+#: Stable identity of one piece of shared state, e.g. ``("descriptors", 3)``
+#: (rank 3's descriptor queue) or ``("acc", 5, 1, 0, -1)`` (rank 5's fold
+#: buffer for context 1, instance 0, whole-message).
+Location = Tuple[Any, ...]
+
+READ = "read"
+WRITE = "write"
+
+
+class AccessTracer(Protocol):
+    """What the sim core expects of an installed tracer."""
+
+    def on_event_scheduled(self, event: Any) -> None:
+        """A new event was pushed (the current event, if any, caused it)."""
+
+    def on_event_begin(self, event: Any) -> None:
+        """The simulator is about to execute ``event``."""
+
+    def on_access(self, kind: str, location: Location, *,
+                  order_sensitive: bool = True, note: str = "") -> None:
+        """Shared state at ``location`` was read/written by the current
+        event.  ``order_sensitive=False`` marks commutative updates
+        (e.g. exact-integer or min/max folds) that cannot change results
+        however same-time events are ordered."""
+
+
+#: The installed tracer, or None (the overwhelmingly common case).  Call
+#: sites read this exactly once per operation.
+TRACER: Optional[AccessTracer] = None
+
+
+def set_access_tracer(tracer: Optional[AccessTracer]) -> None:
+    """Install (or clear) the process-wide access tracer."""
+    global TRACER
+    TRACER = tracer
+
+
+def get_access_tracer() -> Optional[AccessTracer]:
+    return TRACER
+
+
+def trace(kind: str, location: Location, *, order_sensitive: bool = True,
+          note: str = "") -> None:
+    """Record one access if a tracer is installed (convenience wrapper for
+    call sites that are not performance-critical)."""
+    tracer = TRACER
+    if tracer is not None:
+        tracer.on_access(kind, location, order_sensitive=order_sensitive,
+                         note=note)

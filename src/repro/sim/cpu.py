@@ -34,7 +34,9 @@ subtract-the-known-delays protocol.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
+
+from .events import PRIORITY_WAKE
 
 IDLE = "idle"
 BUSY = "busy"
@@ -81,7 +83,7 @@ class HostCpu:
         "crashed", "_frozen_until", "_poll_frozen_us",
     )
 
-    def __init__(self, sim, name: str = "cpu"):
+    def __init__(self, sim: Any, name: str = "cpu"):
         self.sim = sim
         self.name = name
         self.usage: dict[str, float] = {}
@@ -122,8 +124,15 @@ class HostCpu:
             self.charge(duration, category)
 
     def total_usage(self, *, exclude: tuple[str, ...] = ()) -> float:
-        """Total accounted CPU time, optionally excluding some categories."""
-        return sum(v for k, v in self.usage.items() if k not in exclude)
+        """Total accounted CPU time, optionally excluding some categories.
+
+        Summed in sorted-category order: ``usage`` is insertion-ordered by
+        *event* order, and float addition does not commute at the ULP, so
+        an iteration-order sum would leak the schedule into the metric
+        (caught by the perturbation harness on the topo sweep).
+        """
+        return sum(self.usage[k] for k in sorted(self.usage)
+                   if k not in exclude)
 
     def usage_snapshot(self) -> dict[str, float]:
         return dict(self.usage)
@@ -145,7 +154,10 @@ class HostCpu:
         self._resume_cb = resume
         # A frozen CPU (rank_pause) cannot start work until it thaws.
         self._wake_time = max(self.sim.now, self._frozen_until) + duration
-        self._wake_event = self.sim.at(self._wake_time, self._busy_done)
+        # WAKE class: a segment ending at time t observes every hardware
+        # delivery of time t (determinism contract, DESIGN.md §12).
+        self._wake_event = self.sim.at(self._wake_time, self._busy_done,
+                                       priority=PRIORITY_WAKE)
 
     def begin_compute(self, duration: float, category: str,
                       resume: Callable[[], None]) -> None:
@@ -155,7 +167,8 @@ class HostCpu:
         self._segment = (duration, category, None)
         self._resume_cb = resume
         self._wake_time = max(self.sim.now, self._frozen_until) + duration
-        self._wake_event = self.sim.at(self._wake_time, self._compute_done)
+        self._wake_event = self.sim.at(self._wake_time, self._compute_done,
+                                       priority=PRIORITY_WAKE)
 
     def begin_poll(self, category: str) -> None:
         """Enter the spinning-in-a-blocking-MPI-call state."""
@@ -217,7 +230,8 @@ class HostCpu:
                     else self._compute_done)
             self.sim.cancel(self._wake_event)
             self._wake_time += duration
-            self._wake_event = self.sim.at(self._wake_time, done)
+            self._wake_event = self.sim.at(self._wake_time, done,
+                                           priority=PRIORITY_WAKE)
         elif self.state == POLL:
             self._poll_frozen_us += duration
 
@@ -252,7 +266,8 @@ class HostCpu:
         if self._frozen_until > self.sim.now and self.state != BUSY:
             # Frozen CPU: the kernel holds the signal until the thaw (a
             # BUSY segment already defers below and its end was pushed out).
-            self.sim.at(self._frozen_until, self.run_handler, handler)
+            self.sim.at(self._frozen_until, self.run_handler, handler,
+                        priority=PRIORITY_WAKE)
             return
         if self.state == BUSY:
             # Non-interruptible work: defer until the segment completes.
@@ -265,7 +280,9 @@ class HostCpu:
             if cost > 0.0:
                 self.sim.cancel(self._wake_event)
                 self._wake_time += cost
-                self._wake_event = self.sim.at(self._wake_time, self._compute_done)
+                self._wake_event = self.sim.at(self._wake_time,
+                                               self._compute_done,
+                                               priority=PRIORITY_WAKE)
             return
         # IDLE or POLL: run immediately.  In POLL the application-bypass
         # layer sees progress-already-active and ignores the signal, so no
@@ -308,7 +325,7 @@ class HostCpu:
         resume = self._resume_cb
         self._resume_cb = None
         if extra > 0.0:
-            self.sim.schedule(extra, resume)
+            self.sim.schedule(extra, resume, priority=PRIORITY_WAKE)
         else:
             resume()
 

@@ -70,7 +70,7 @@ class Busy(Command):
         self.charges = charges
 
     @classmethod
-    def from_ledger(cls, ledger) -> "Busy":
+    def from_ledger(cls, ledger: Any) -> "Busy":
         """Busy segment whose cost breakdown comes from a CPU ledger."""
         return cls(ledger.total, "work", dict(ledger.charges))
 
@@ -102,7 +102,8 @@ class Fork(Command):
 
     __slots__ = ("gen", "name", "cpu")
 
-    def __init__(self, gen: SimGen, name: str = "child", cpu=None):
+    def __init__(self, gen: SimGen, name: str = "child",
+                 cpu: Optional[Any] = None):
         self.gen = gen
         self.name = name
         self.cpu = cpu
@@ -177,7 +178,8 @@ class SimProcess:
     __slots__ = ("gen", "name", "cpu", "done", "result", "error", "finished_at",
                  "_completion")
 
-    def __init__(self, gen: SimGen, name: str, cpu=None):
+    def __init__(self, gen: SimGen, name: str,
+                 cpu: Optional[Any] = None):
         self.gen = gen
         self.name = name
         self.cpu = cpu  # HostCpu or None for hardware/helper processes

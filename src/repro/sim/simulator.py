@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..errors import DeadlockError, ProcessFailed
-from .events import Event, EventQueue
+from . import access
+from .events import Event, EventQueue, PRIORITY_DELIVERY, PRIORITY_WAKE
 from .process import Busy, Compute, Fork, SimGen, SimProcess, WaitFor
 from .trace import Tracer
 
@@ -38,28 +39,34 @@ class Simulator:
         #: :meth:`counters` — e.g. the fabric's per-hop network counters.
         self._counter_sources: list = []
 
-    def add_monitor(self, monitor) -> None:
+    def add_monitor(self, monitor: Any) -> None:
         """Register an invariant monitor's ``on_event`` hook."""
         self.monitors.append(monitor)
 
-    def add_counter_source(self, source) -> None:
+    def add_counter_source(self, source: Callable[[], dict]) -> None:
         """Register a zero-arg callable whose dict extends :meth:`counters`."""
         self._counter_sources.append(source)
 
     # ------------------------------------------------------------------
     # scheduling primitives
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Run ``fn(*args)`` after ``delay`` microseconds."""
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any,
+                 priority: int = PRIORITY_DELIVERY) -> Event:
+        """Run ``fn(*args)`` after ``delay`` microseconds.
+
+        ``priority`` picks the same-instant ordering class (see
+        :mod:`repro.sim.events`): deliveries < wake-ups < timers.
+        """
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.queue.push(self.now + delay, fn, args)
+        return self.queue.push(self.now + delay, fn, args, priority)
 
-    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def at(self, time: float, fn: Callable[..., Any], *args: Any,
+           priority: int = PRIORITY_DELIVERY) -> Event:
         """Run ``fn(*args)`` at absolute time ``time`` (must not be past)."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        return self.queue.push(time, fn, args)
+        return self.queue.push(time, fn, args, priority)
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
@@ -70,7 +77,8 @@ class Simulator:
     # ------------------------------------------------------------------
     # processes
     # ------------------------------------------------------------------
-    def spawn(self, gen: SimGen, name: str = "proc", cpu=None) -> SimProcess:
+    def spawn(self, gen: SimGen, name: str = "proc",
+              cpu: Optional[Any] = None) -> SimProcess:
         """Register a generator as a process and start it at the current time."""
         proc = SimProcess(gen, name, cpu)
         self.processes.append(proc)
@@ -85,6 +93,7 @@ class Simulator:
         """Drain the event queue (optionally bounded); returns final time."""
         queue = self.queue
         monitors = self.monitors
+        tracer = access.TRACER
         processed = 0
         while True:
             if max_events is not None and processed >= max_events:
@@ -108,6 +117,8 @@ class Simulator:
             if monitors:
                 for monitor in monitors:
                     monitor.on_event(ev.time, self.now)
+            if tracer is not None:
+                tracer.on_event_begin(ev)
             self.now = ev.time
             ev.fn(*ev.args)
             processed += 1
@@ -123,7 +134,8 @@ class Simulator:
                 raise DeadlockError(blocked)
         return self.now
 
-    def run_process(self, gen: SimGen, name: str = "main", cpu=None) -> Any:
+    def run_process(self, gen: SimGen, name: str = "main",
+                    cpu: Optional[Any] = None) -> Any:
         """Convenience: spawn ``gen``, run to completion, return its value."""
         proc = self.spawn(gen, name, cpu)
         self.run()
@@ -139,6 +151,11 @@ class Simulator:
         wall-time metrics (events/second across a sweep)."""
         out = {
             "events": self.events_processed,
+            # Heap entries cancelled before firing (defunct recovery
+            # timers, rescheduled CPU wake-ups): invisible in `events`
+            # because lazy cancellation skips them on pop, yet they are
+            # real heap load worth benchmarking.
+            "events_cancelled": self.queue.cancelled,
             "ops": self.ops_executed,
             "processes": self.processes_spawned,
         }
@@ -191,7 +208,8 @@ class Simulator:
                 cpu = proc.cpu
                 cpu.begin_poll(cmd.poll_category)
 
-                def _poll_woken(val: Any, _cpu=cpu, _proc=proc) -> None:
+                def _poll_woken(val: Any, _cpu: Any = cpu,
+                                _proc: Any = proc) -> None:
                     if getattr(_cpu, "crashed", False):
                         return
                     # Signals ignored while spinning still stole the CPU:
@@ -205,7 +223,10 @@ class Simulator:
                         _cpu.end_poll()
                         self._step(_proc, val)
 
-                    self.schedule(penalty, _resume)
+                    # WAKE class: a poller resuming at time t observes
+                    # every hardware delivery of time t (e.g. an rx
+                    # completion landing at the exact wake instant).
+                    self.schedule(penalty, _resume, priority=PRIORITY_WAKE)
 
                 cmd.trigger.add_waiter(_poll_woken)
             else:

@@ -1,0 +1,139 @@
+"""Property tests for the event queue's determinism levers.
+
+The whole determinism story rests on three queue-level facts (DESIGN.md
+§12): same-time FIFO order survives arbitrary interleaved cancellation,
+the tiebreak shuffle is a pure per-seed permutation of same-time events,
+and priority classes are never reordered by the shuffle.  These tests pin
+each fact under hypothesis-generated schedules.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.events import (PRIORITY_DELIVERY, PRIORITY_TIMER,
+                              PRIORITY_WAKE, EventQueue, tiebreak_key)
+
+
+def drain(queue):
+    order = []
+    while (ev := queue.pop()) is not None:
+        ev.fn(*ev.args)
+    return order  # unused by callers that pass their own sink
+
+
+def pop_labels(queue):
+    labels = []
+    while (ev := queue.pop()) is not None:
+        labels.append(ev.args[0])
+    return labels
+
+
+# ----------------------------------------------------------------------
+# FIFO survives interleaved cancellation
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.booleans()),
+                min_size=1, max_size=40))
+def test_same_time_fifo_survives_interleaved_cancellation(plan):
+    """Pushing same-time events while cancelling arbitrary earlier ones
+    must deliver the survivors in exact insertion order.
+
+    ``plan`` is a list of (cancel_some_previous, cancel_self) steps: each
+    step pushes one event; the first flag cancels the oldest still-live
+    previous event, the second marks the new event for later cancellation.
+    """
+    q = EventQueue()
+    events = []
+    doomed = []
+    for i, (cancel_prev, cancel_self) in enumerate(plan):
+        ev = q.push(7.0, lambda _i: None, (i,))
+        events.append((i, ev))
+        if cancel_self:
+            doomed.append(ev)
+        if cancel_prev:
+            for j, prev in events[:-1]:
+                if not prev.cancelled:
+                    prev.cancel()
+                    q.note_cancelled()
+                    break
+    for ev in doomed:
+        if not ev.cancelled:
+            ev.cancel()
+            q.note_cancelled()
+    alive = [i for i, ev in events if not ev.cancelled]
+    assert pop_labels(q) == alive
+    assert len(q) == 0
+
+
+# ----------------------------------------------------------------------
+# tiebreak shuffle: deterministic per-seed permutation
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1),
+       n=st.integers(min_value=1, max_value=50))
+def test_tiebreak_shuffle_is_deterministic_per_seed(seed, n):
+    """Two queues built with the same seed pop same-time events in the
+    same order, and that order is a permutation of the insertion set."""
+    orders = []
+    for _ in range(2):
+        q = EventQueue(tiebreak_seed=seed)
+        for i in range(n):
+            q.push(1.0, lambda _i: None, (i,))
+        orders.append(pop_labels(q))
+    assert orders[0] == orders[1]
+    assert sorted(orders[0]) == list(range(n))
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1),
+       n=st.integers(min_value=2, max_value=30))
+def test_tiebreak_shuffle_matches_pure_key_function(seed, n):
+    """The shuffled order is exactly ascending ``tiebreak_key(seed, seq)``
+    — the permutation is a pure function of the seed, independent of any
+    interpreter state (seq starts at 1)."""
+    q = EventQueue(tiebreak_seed=seed)
+    for i in range(n):
+        q.push(1.0, lambda _i: None, (i,))
+    expected = sorted(range(n), key=lambda i: tiebreak_key(seed, i + 1))
+    assert pop_labels(q) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1),
+       times=st.lists(st.sampled_from([1.0, 2.0, 3.0]),
+                      min_size=1, max_size=30))
+def test_tiebreak_shuffle_never_reorders_across_times(seed, times):
+    q = EventQueue(tiebreak_seed=seed)
+    for i, t in enumerate(times):
+        q.push(t, lambda _i: None, (i, t))
+    popped_times = []
+    while (ev := q.pop()) is not None:
+        popped_times.append(ev.time)
+    assert popped_times == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# priority classes bound the shuffle
+# ----------------------------------------------------------------------
+@settings(max_examples=150, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**64 - 1),
+       classes=st.lists(st.sampled_from([PRIORITY_DELIVERY, PRIORITY_WAKE,
+                                         PRIORITY_TIMER]),
+                        min_size=1, max_size=30))
+def test_shuffle_respects_priority_classes(seed, classes):
+    """Whatever the tiebreak seed, same-instant events pop in
+    non-decreasing priority order: the shuffle only permutes *within* a
+    class (deliveries < wake-ups < timers)."""
+    q = EventQueue(tiebreak_seed=seed)
+    for i, prio in enumerate(classes):
+        q.push(4.0, lambda _i: None, (i,), priority=prio)
+    popped = []
+    while (ev := q.pop()) is not None:
+        popped.append((ev.priority, ev.args[0]))
+    assert [p for p, _ in popped] == sorted(p for p, _ in popped)
+    # Within each class the members are exactly the pushed ones.
+    for cls in set(classes):
+        members = [i for p, i in popped if p == cls]
+        assert sorted(members) == [i for i, p in enumerate(classes)
+                                   if p == cls]

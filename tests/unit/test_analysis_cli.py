@@ -91,13 +91,16 @@ def test_json_output_schema(tmp_path, capsys):
     assert main(["--format", "json", str(tmp_path)]) == EXIT_FINDINGS
     payload = json.loads(capsys.readouterr().out)
     assert payload["version"] == 1
-    assert set(payload) == {"version", "findings", "counts", "baselined",
+    assert set(payload) == {"version", "findings", "counts", "errors",
+                            "warnings", "baselined",
                             "stale_baseline_entries"}
     assert payload["counts"]["SIM001"] == 1
     assert payload["counts"]["SIM002"] == 1
+    assert payload["errors"] >= 2
     for finding in payload["findings"]:
         assert set(finding) == {"rule", "path", "line", "col", "message",
-                                "fingerprint"}
+                                "severity", "fingerprint"}
+        assert finding["severity"] in ("error", "warning")
         assert finding["path"].startswith("repro/")
         assert finding["line"] > 0 and finding["col"] > 0
 
