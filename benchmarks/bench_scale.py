@@ -1,10 +1,18 @@
 """Scalability-extrapolation benchmark: the paper's central prediction —
 the factor of improvement keeps growing with system size — checked out to
-256 nodes (8x the paper's testbed)."""
+256 nodes (8x the paper's testbed).  The smoke-marked sweep below drives
+the same DES-throughput grid as CI's scale-smoke job (``orchestrate
+smoke-scale``) at preset-scaled sizes."""
+
+import pytest
 
 from repro.experiments import scale
+from repro.orchestrate.benchjson import load_bench_json
+from repro.orchestrate.points import scale_smoke_points
+from repro.orchestrate.runner import run_points
 
-from conftest import JOBS, SEED, iters, run_once, save_bench_json, save_table
+from conftest import (JOBS, SEED, SMOKE, iters, run_once, save_bench_json,
+                      save_table)
 
 
 def test_scale_extrapolation(benchmark):
@@ -27,3 +35,25 @@ def test_scale_extrapolation(benchmark):
     # the paper's 5.1 at 32 nodes roughly doubles by 256
     assert factors[sizes.index(32)] > 4.0
     assert factors[-1] > 1.6 * factors[sizes.index(32)]
+
+
+@pytest.mark.smoke
+def test_scale_sweep_reports_events_per_sec(benchmark):
+    """The CI scale grid end to end: fat-tree + torus points through the
+    process pool, every emitted record carrying an events/sec figure.
+    Smoke preset shrinks the sizes; the real 1024-4096 sweep belongs to
+    the dedicated scale-smoke CI job and its timeout."""
+    sizes = (64, 128) if SMOKE else (1024, 2048, 4096)
+    points = scale_smoke_points(seed=SEED, sizes=sizes)
+
+    def run():
+        return run_points(points, jobs=max(2, JOBS))
+
+    results = run_once(benchmark, run)
+    assert len(results) == len(points)
+    path = save_bench_json("scale", results, jobs=max(2, JOBS))
+    payload = load_bench_json(path)
+    assert payload["events_per_sec"] > 0
+    for record in payload["points"]:
+        assert record["counters"]["events"] > 0
+        assert record["events_per_sec"] > 0

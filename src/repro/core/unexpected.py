@@ -7,10 +7,25 @@ instead of the two the default MPICH unexpected path pays (a 50% reduction,
 Sec. V-B).  Expected and late AB messages never touch this queue at all and
 are combined straight out of the packet buffer (zero copies, a 100%
 reduction, Sec. V-C).
+
+Lookups are **dict-indexed**, not scanned: entries are registered under two
+indexes at insertion —
+
+* per-sender FIFO (``src_world -> deque``), serving :meth:`take`'s
+  oldest-from-sender rule in O(1);
+* exact segment identity (``(src_world, instance, seg) -> deque``), serving
+  :meth:`take_for`'s segmented match in O(1).
+
+The previous implementation scanned one flat list per lookup; at thousands
+of ranks with pipelined windows the scans went quadratic.  An entry taken
+through either index is flagged ``consumed`` and lazily skipped by the
+other, so the two views never disagree.  Semantics are unchanged: per
+sender, entries still come out in exact insertion order.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 import numpy as np
@@ -22,7 +37,7 @@ from ..sim import access
 class AbUnexpectedEntry:
     """One buffered early AB message."""
 
-    __slots__ = ("src_world", "header", "data", "arrived_at")
+    __slots__ = ("src_world", "header", "data", "arrived_at", "consumed")
 
     def __init__(self, src_world: int, header: AbHeader, data: np.ndarray,
                  arrived_at: float):
@@ -30,6 +45,9 @@ class AbUnexpectedEntry:
         self.header = header
         self.data = data
         self.arrived_at = arrived_at
+        #: Set when taken through either index; the other index (and the
+        #: insertion-order view) lazily drop flagged entries.
+        self.consumed = False
 
 
 class AbUnexpectedQueue:
@@ -41,10 +59,17 @@ class AbUnexpectedQueue:
     races the happens-before checker must see.
     """
 
-    __slots__ = ("_entries", "inserted", "consumed", "max_len", "owner")
+    __slots__ = ("_by_sender", "_by_key", "_order", "_size",
+                 "inserted", "consumed", "max_len", "owner")
 
     def __init__(self) -> None:
-        self._entries: list[AbUnexpectedEntry] = []
+        self._by_sender: dict[int, deque[AbUnexpectedEntry]] = {}
+        self._by_key: dict[tuple[int, int, int],
+                           deque[AbUnexpectedEntry]] = {}
+        #: All entries in insertion order (for diagnostics); consumed
+        #: entries are trimmed lazily from the front.
+        self._order: deque[AbUnexpectedEntry] = deque()
+        self._size = 0
         self.inserted = 0
         self.consumed = 0
         self.max_len = 0
@@ -58,9 +83,29 @@ class AbUnexpectedQueue:
                          note=f"put src={src_world} "
                               f"inst={header.instance} seg={header.seg}")
         entry = AbUnexpectedEntry(src_world, header, data, arrived_at)
-        self._entries.append(entry)
+        sender_q = self._by_sender.get(src_world)
+        if sender_q is None:
+            sender_q = self._by_sender[src_world] = deque()
+        sender_q.append(entry)
+        key = (src_world, header.instance, header.seg)
+        key_q = self._by_key.get(key)
+        if key_q is None:
+            key_q = self._by_key[key] = deque()
+        key_q.append(entry)
+        order = self._order
+        order.append(entry)
+        while order and order[0].consumed:
+            order.popleft()
+        self._size += 1
         self.inserted += 1
-        self.max_len = max(self.max_len, len(self._entries))
+        if self._size > self.max_len:
+            self.max_len = self._size
+        return entry
+
+    def _claim(self, entry: AbUnexpectedEntry) -> AbUnexpectedEntry:
+        entry.consumed = True
+        self._size -= 1
+        self.consumed += 1
         return entry
 
     def take(self, src_world: int) -> Optional[AbUnexpectedEntry]:
@@ -68,11 +113,11 @@ class AbUnexpectedQueue:
         if access.TRACER is not None:
             access.trace(access.WRITE, ("ab_unexpected", self.owner),
                          note=f"take src={src_world}")
-        for i, entry in enumerate(self._entries):
-            if entry.src_world == src_world:
-                del self._entries[i]
-                self.consumed += 1
-                return entry
+        queue = self._by_sender.get(src_world)
+        while queue:
+            entry = queue.popleft()
+            if not entry.consumed:
+                return self._claim(entry)
         return None
 
     def take_for(self, src_world: int, instance: int,
@@ -84,20 +129,19 @@ class AbUnexpectedQueue:
             access.trace(access.WRITE, ("ab_unexpected", self.owner),
                          note=f"take_for src={src_world} inst={instance} "
                               f"seg={seg}")
-        for i, entry in enumerate(self._entries):
-            if (entry.src_world == src_world and entry.header.seg == seg
-                    and entry.header.instance == instance):
-                del self._entries[i]
-                self.consumed += 1
-                return entry
+        queue = self._by_key.get((src_world, instance, seg))
+        while queue:
+            entry = queue.popleft()
+            if not entry.consumed:
+                return self._claim(entry)
         return None
 
     def peek_senders(self) -> list[int]:
-        return [e.src_world for e in self._entries]
+        return [e.src_world for e in self._order if not e.consumed]
 
     @property
     def empty(self) -> bool:
-        return not self._entries
+        return self._size == 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._size

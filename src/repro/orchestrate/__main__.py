@@ -31,6 +31,25 @@ Commands:
     all under the invariant monitor (INV-SEGMENT included), written to
     ``BENCH_pipeline_smoke.json`` plus ``pipeline-invariant-report.json``.
 
+``smoke-scale [--jobs N] [--out DIR] [--seed S] [--sizes N ...]``
+    The large-scale DES throughput sweep: 1024/2048/4096-rank
+    extrapolated clusters on fat-tree and torus, AB build, tiny iteration
+    counts, invariant monitor off.  Writes ``BENCH_scale.json`` with an
+    ``events_per_sec`` figure per point; the CI job's hard
+    ``timeout-minutes`` is the wall-clock gate.
+
+``refresh-baseline [--path P] [--jobs N] [--seed S]``
+    The one-command baseline refresh for the CI perf gate: re-run the
+    exact ``smoke`` grid and overwrite the committed baseline
+    (``benchmarks/baselines/BENCH_smoke.baseline.json`` by default).
+    Run it whenever a deliberate change moves smoke metrics, commit the
+    result, and say why in the commit message.
+
+``summarize BENCH.json ...``
+    Render one or more BENCH_*.json files as a GitHub-flavored markdown
+    table (sweep, points, sim events, wall, events/sec) — what the CI
+    jobs append to ``$GITHUB_STEP_SUMMARY``.
+
 ``race-smoke [--scenario S ...] [--runs N] [--jobs N] [--out DIR]``
     The determinism gate: run the named smoke scenarios (default: fig7 +
     pipeline) under the schedule-perturbation harness
@@ -49,10 +68,16 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .benchjson import write_bench_json
+from .benchjson import events_per_sec, load_bench_json, write_bench_json
 from .points import (SweepPoint, execute_point, faults_smoke_points,
-                     pipeline_smoke_points, smoke_points, topo_smoke_points)
+                     pipeline_smoke_points, scale_smoke_points, smoke_points,
+                     topo_smoke_points)
 from .runner import run_points
+
+#: Where the CI perf gate's committed baseline lives (relative to the
+#: repo root); ``refresh-baseline`` writes here by default and CI
+#: compares every fresh BENCH_smoke.json against it.
+DEFAULT_BASELINE = "benchmarks/baselines/BENCH_smoke.baseline.json"
 
 
 def _cmd_run_point(args: argparse.Namespace) -> int:
@@ -127,6 +152,66 @@ def _cmd_smoke_pipeline(args: argparse.Namespace) -> int:
                            "pipeline-invariant-report.json")
 
 
+def _cmd_smoke_scale(args: argparse.Namespace) -> int:
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    points = scale_smoke_points(seed=args.seed, iterations=args.iterations,
+                                sizes=tuple(args.sizes))
+    results = run_points(points, jobs=args.jobs,
+                         progress=lambda line: print(f"  {line}",
+                                                     flush=True))
+    bench_path = write_bench_json("scale", results, directory=out_dir,
+                                  jobs=args.jobs)
+    for r in results:
+        eps = events_per_sec(r.counters, r.wall_time_s)
+        rate = f", {eps:,.0f} events/s" if eps else ""
+        print(f"  {r.point.label()}: "
+              f"{r.counters.get('events', 0):,} events in "
+              f"{r.wall_time_s:.2f}s{rate}")
+    print(f"wrote {bench_path}")
+    return 0
+
+
+def _cmd_refresh_baseline(args: argparse.Namespace) -> int:
+    points = smoke_points(seed=args.seed, iterations=args.iterations)
+    results = run_points(points, jobs=args.jobs,
+                         progress=lambda line: print(f"  {line}",
+                                                     flush=True))
+    path = write_bench_json("smoke", results, path=args.path,
+                            jobs=args.jobs)
+    print(f"wrote {path} — commit it to refresh the CI perf-gate baseline")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    lines = ["| sweep | point | sim events | wall (s) | events/sec |",
+             "| --- | --- | ---: | ---: | ---: |"]
+    for bench in args.bench:
+        try:
+            payload = load_bench_json(bench)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        name = payload.get("name", "?")
+        for record in payload["points"]:
+            key = record["key"]
+            label = (f"{key.get('kind')} n={key.get('size')} "
+                     f"{key.get('build')} ({key.get('variant')})")
+            events = record.get("counters", {}).get("events", 0)
+            eps = record.get("events_per_sec")
+            lines.append(
+                f"| {name} | {label} | {events:,} | "
+                f"{record['wall_time_s']:.2f} | "
+                + (f"{eps:,.0f} |" if eps else "n/a |"))
+        total_eps = payload.get("events_per_sec")
+        lines.append(
+            f"| {name} | **total** | | "
+            f"{payload.get('total_wall_s', 0.0):.2f} | "
+            + (f"**{total_eps:,.0f}** |" if total_eps else "n/a |"))
+    print("\n".join(lines))
+    return 0
+
+
 def _cmd_race_smoke(args: argparse.Namespace) -> int:
     from ..analysis import races
     out_dir = Path(args.out)
@@ -183,6 +268,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_pipe.add_argument("--iterations", type=int, default=6)
     p_pipe.add_argument("--out", default="ci-artifacts")
 
+    p_scale = sub.add_parser("smoke-scale",
+                             help="1024-4096 rank DES throughput sweep "
+                                  "(fat-tree + torus, AB build)")
+    p_scale.add_argument("--jobs", type=int, default=2)
+    p_scale.add_argument("--seed", type=int, default=1)
+    p_scale.add_argument("--iterations", type=int, default=2)
+    p_scale.add_argument("--sizes", type=int, nargs="+",
+                         default=[1024, 2048, 4096])
+    p_scale.add_argument("--out", default="ci-artifacts")
+
+    p_base = sub.add_parser("refresh-baseline",
+                            help="re-run the smoke grid and overwrite the "
+                                 "committed perf-gate baseline")
+    p_base.add_argument("--jobs", type=int, default=2)
+    p_base.add_argument("--seed", type=int, default=1)
+    p_base.add_argument("--iterations", type=int, default=10)
+    p_base.add_argument("--path", default=DEFAULT_BASELINE)
+
+    p_sum = sub.add_parser("summarize",
+                           help="render BENCH_*.json files as a markdown "
+                                "table (for $GITHUB_STEP_SUMMARY)")
+    p_sum.add_argument("bench", nargs="+",
+                       help="BENCH_*.json file(s) to summarize")
+
     p_race = sub.add_parser("race-smoke",
                             help="schedule-perturbation determinism gate "
                                  "over the CI smoke scenarios")
@@ -212,6 +321,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_smoke_faults(args)
     if args.command == "smoke-pipeline":
         return _cmd_smoke_pipeline(args)
+    if args.command == "smoke-scale":
+        return _cmd_smoke_scale(args)
+    if args.command == "refresh-baseline":
+        return _cmd_refresh_baseline(args)
+    if args.command == "summarize":
+        return _cmd_summarize(args)
     if args.command == "race-smoke":
         if args.scenario is None:
             args.scenario = ["fig7", "pipeline"]

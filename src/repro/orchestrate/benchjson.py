@@ -9,6 +9,7 @@ Schema (version 1)::
       "created_unix": 1754400000,
       "jobs": 4,                         # --jobs the sweep ran with
       "total_wall_s": 12.34,             # sum of per-point wall times
+      "events_per_sec": 61234.5,         # aggregate sim-events throughput
       "points": [
         {
           "key": {"experiment": "fig7", "kind": "cpu_util", "size": 32,
@@ -17,6 +18,7 @@ Schema (version 1)::
           "metrics": {"avg_util_us": 12.3, ...},   # bit-deterministic
           "wall_time_s": 0.42,                     # host time; noisy
           "counters": {"events": 123456, "ops": 23456},
+          "events_per_sec": 58923.1,               # host throughput; noisy
           "seed": 1
         }, ...
       ]
@@ -25,7 +27,11 @@ Schema (version 1)::
 ``metrics`` values are pure functions of the key (the simulator is
 deterministic), so the compare CLI treats any metric difference as drift;
 ``wall_time_s`` is host time and only gates through a percentage
-tolerance.
+tolerance.  ``events_per_sec`` (``counters["events"] / wall_time_s``, the
+DES core's throughput) is wall-derived and therefore *also* host-noisy:
+it lives beside ``wall_time_s``, never inside ``metrics``, so a slow
+runner can't fail the exact-metric gate.  Null when a point's executor
+reports no event counter.
 """
 
 from __future__ import annotations
@@ -53,18 +59,33 @@ def git_sha(cwd: Optional[Union[str, Path]] = None) -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
+def events_per_sec(counters: dict, wall_time_s: float) -> Optional[float]:
+    """Simulator-event throughput for one run, or None when the executor
+    reported no event counter (e.g. the closed-form NIC-reduction model)."""
+    events = counters.get("events")
+    if not events or wall_time_s <= 0:
+        return None
+    return float(events) / wall_time_s
+
+
 def bench_payload(name: str, results: Sequence[PointResult], *,
                   jobs: int = 1, sha: Optional[str] = None) -> dict:
     """Build the schema-1 payload for a completed sweep."""
     points = []
+    total_events = 0
+    counted_wall = 0.0
     for res in results:
         points.append({
             "key": res.point.key(),
             "metrics": dict(res.metrics),
             "wall_time_s": res.wall_time_s,
             "counters": dict(res.counters),
+            "events_per_sec": events_per_sec(res.counters, res.wall_time_s),
             "seed": res.point.config.seed,
         })
+        if res.counters.get("events"):
+            total_events += int(res.counters["events"])
+            counted_wall += res.wall_time_s
     return {
         "schema": SCHEMA_VERSION,
         "name": name,
@@ -72,6 +93,8 @@ def bench_payload(name: str, results: Sequence[PointResult], *,
         "created_unix": int(time.time()),
         "jobs": jobs,
         "total_wall_s": sum(r.wall_time_s for r in results),
+        "events_per_sec": (total_events / counted_wall
+                           if counted_wall > 0 else None),
         "points": points,
     }
 

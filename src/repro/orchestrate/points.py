@@ -462,6 +462,32 @@ def pipeline_smoke_points(*, seed: int = 1, iterations: int = 6,
     return points
 
 
+def scale_smoke_points(*, seed: int = 1, iterations: int = 2,
+                       sizes: tuple = (1024, 2048, 4096),
+                       collect_invariants: bool = False
+                       ) -> list["SweepPoint"]:
+    """The large-scale DES throughput sweep (``orchestrate smoke-scale``):
+    1024/2048/4096-rank extrapolated clusters on the two multi-hop
+    topologies, AB build only.  This grid exists to exercise the scaled
+    event core (calendar queue, route cache, indexed unexpected queue) at
+    sizes the fig-grade sweeps never reach, and to put an ``events_per_sec``
+    number in CI for every (size, topology) cell.  Iterations are tiny and
+    the invariant monitor is off by default — the hard ``timeout-minutes``
+    on the CI job is the wall-clock gate, so the whole sweep must stay
+    minutes, not hours."""
+    nets = (NetParams(topology="fattree", fattree_hosts_per_switch=32),
+            NetParams(topology="torus"))
+    return [
+        SweepPoint(experiment="scale_smoke", kind="cpu_util",
+                   config=ConfigSpec("extrapolated", size, seed, net=net),
+                   build="ab", elements=4, max_skew_us=1000.0,
+                   iterations=iterations, warmup=1,
+                   collect_invariants=collect_invariants)
+        for size in sizes
+        for net in nets
+    ]
+
+
 KINDS: dict[str, Callable] = {
     "cpu_util": _run_cpu_util,
     "latency": _run_latency,

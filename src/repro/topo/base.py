@@ -25,6 +25,16 @@ packets of a pair sharing one path: each shared resource (host TX link,
 switch output link) is itself FIFO, and a fixed path composes those into
 an end-to-end FIFO order.  Adaptive per-packet routing would break that;
 implement it only together with a reorder buffer at the sink.
+
+That purity is also what makes **route caching** sound: :meth:`Topology.route`
+memoizes the computed hop list per ``(src, dst)`` pair, so routing is O(1)
+per packet after the pair's first packet (the torus walks its whole
+dimension-order path per call — dozens of hops at 4096 ranks — and the
+per-packet rebuild dominated large-scale profiles).  Subclasses implement
+:meth:`Topology._compute_route`; the cache lives behind ``route()`` so
+every consumer (the fabric's transit path, diagnostics, tests) shares it.
+A topology whose routes depended on load or time would break the cache
+*and* the FIFO guarantee — the same contract protects both.
 """
 
 from __future__ import annotations
@@ -52,9 +62,24 @@ class Topology:
         self.switches: list[CrossbarSwitch] = []
         #: total switch traversals charged (per-hop counter)
         self.hops = 0
+        #: memoized (src, dst) -> hop list (see module docstring); one
+        #: entry per pair that ever routed a packet, never invalidated —
+        #: routes are pure functions of the pair by contract.
+        self._route_cache: dict[tuple[int, int], list] = {}
 
     def route(self, src: int, dst: int) -> list[tuple[CrossbarSwitch, int]]:
-        """Ordered (switch, out_port) hops from ``src``'s NIC to ``dst``."""
+        """Ordered (switch, out_port) hops from ``src``'s NIC to ``dst``
+        (memoized; see :meth:`_compute_route` for the actual routing)."""
+        key = (src, dst)
+        hops = self._route_cache.get(key)
+        if hops is None:
+            hops = self._route_cache[key] = self._compute_route(src, dst)
+        return hops
+
+    def _compute_route(self, src: int,
+                       dst: int) -> list[tuple[CrossbarSwitch, int]]:
+        """Compute the hop list for one pair (subclass responsibility).
+        Must be a deterministic pure function of ``(src, dst)``."""
         raise NotImplementedError
 
     def transit(self, at: float, src: int, dst: int, wire_bytes: int) -> float:
@@ -63,10 +88,13 @@ class Topology:
         cable = self.params.cable_latency_us
         head = start + cable
         finish = head
-        for switch, port in self.route(src, dst):
+        hops = self._route_cache.get((src, dst))
+        if hops is None:
+            hops = self.route(src, dst)
+        for switch, port in hops:
             hop_start, finish = switch.traverse_timed(head, port, wire_bytes)
             head = hop_start + cable
-            self.hops += 1
+        self.hops += len(hops)
         return finish + cable
 
     def counters(self) -> dict:
@@ -74,6 +102,7 @@ class Topology:
         return {
             "net_hops": self.hops,
             "net_switch_forwarded": sum(sw.forwarded for sw in self.switches),
+            "net_route_cache_entries": len(self._route_cache),
         }
 
     def max_port_utilization(self, horizon: float) -> float:

@@ -23,5 +23,5 @@ class CrossbarTopology(Topology):
         )
         self.switches = [self.switch]
 
-    def route(self, src: int, dst: int):
+    def _compute_route(self, src: int, dst: int):
         return [(self.switch, dst)]

@@ -53,7 +53,7 @@ class FatTreeTopology(Topology):
         ] if self.n_edge > 1 else []
         self.switches = self.edge + self.spine
 
-    def route(self, src: int, dst: int):
+    def _compute_route(self, src: int, dst: int):
         es, ed = src // self.down, dst // self.down
         if es == ed:
             return [(self.edge[es], dst % self.down)]

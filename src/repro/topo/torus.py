@@ -58,7 +58,7 @@ class TorusTopology(Topology):
     def _coords(self, node: int) -> tuple[int, int]:
         return node % self.width, node // self.width
 
-    def route(self, src: int, dst: int):
+    def _compute_route(self, src: int, dst: int):
         sx, sy = self._coords(src)
         dx, dy = self._coords(dst)
         hops = []

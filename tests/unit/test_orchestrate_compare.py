@@ -6,8 +6,10 @@ from __future__ import annotations
 import copy
 import json
 
-from repro.orchestrate.benchjson import (bench_payload, load_bench_json,
-                                         write_bench_json)
+import pytest
+
+from repro.orchestrate.benchjson import (bench_payload, events_per_sec,
+                                         load_bench_json, write_bench_json)
 from repro.orchestrate.compare import (EXIT_CLEAN, EXIT_REGRESSION,
                                        EXIT_USAGE, compare_payloads, main)
 from repro.orchestrate.points import ConfigSpec, PointResult, SweepPoint
@@ -111,6 +113,73 @@ def test_usage_errors(tmp_path):
     bad_schema = _write(tmp_path, "bad.json", _payload(schema=99))
     assert main([good, bad_schema]) == EXIT_USAGE
     assert main(["--no-such-flag"]) == EXIT_USAGE
+
+
+def test_usage_error_messages_are_clean(tmp_path, capsys):
+    """Missing files and schema mismatches must produce a one-line
+    ``error:`` message on stderr (no traceback) and exit 2 — the CI gate
+    surfaces this output directly."""
+    good = _write(tmp_path, "good.json", _payload())
+    assert main([good, str(tmp_path / "nope.json")]) == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "Traceback" not in err
+    bad = _write(tmp_path, "bad.json", _payload(schema=99))
+    assert main([good, bad]) == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert "unsupported schema" in err and "Traceback" not in err
+    not_json = tmp_path / "corrupt.json"
+    not_json.write_text("{nope")
+    assert main([good, str(not_json)]) == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "Traceback" not in err
+
+
+def test_injected_slowdown_fails_gate(tmp_path):
+    """The acceptance demonstration: identical metrics but a 3x wall-time
+    inflation must fail a baseline compare at the default tolerance."""
+    old = _payload()
+    slow = copy.deepcopy(old)
+    for record in slow["points"]:
+        record["wall_time_s"] *= 3.0
+    verdict = compare_payloads(old, slow)
+    assert not verdict["ok"] and verdict["wall"]["regressed"]
+    assert not verdict["metric_drifts"]
+    assert main([_write(tmp_path, "base.json", old),
+                 _write(tmp_path, "slow.json", slow)]) == EXIT_REGRESSION
+
+
+def test_events_per_sec_in_every_payload():
+    """Every point record and the payload top level carry events/sec,
+    derived from counters — and never inside ``metrics``, where the
+    exact-compare gate would see host noise as drift."""
+    payload = _payload()
+    for record in payload["points"]:
+        assert record["events_per_sec"] == pytest.approx(
+            record["counters"]["events"] / record["wall_time_s"])
+        assert "events_per_sec" not in record["metrics"]
+    assert payload["events_per_sec"] == pytest.approx(200.0 / 3.0)
+
+
+def test_events_per_sec_null_without_event_counter():
+    assert events_per_sec({}, 1.0) is None
+    assert events_per_sec({"events": 0}, 1.0) is None
+    assert events_per_sec({"events": 10}, 0.0) is None
+    res = _result(2, 10.0, 1.0)
+    res.counters = {}
+    payload = bench_payload("t", [res], sha="cafe")
+    assert payload["points"][0]["events_per_sec"] is None
+    assert payload["events_per_sec"] is None
+
+
+def test_events_per_sec_does_not_trip_compare():
+    """Two runs of the same sweep differ in throughput but not metrics:
+    the gate must stay clean."""
+    old = _payload()
+    new = copy.deepcopy(old)
+    for record in new["points"]:
+        record["events_per_sec"] = (record["events_per_sec"] or 0.0) * 7.0
+    new["events_per_sec"] = 1e9
+    assert compare_payloads(old, new)["ok"]
 
 
 def test_write_and_load_round_trip(tmp_path):

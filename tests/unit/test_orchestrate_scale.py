@@ -1,0 +1,90 @@
+"""Unit tests for the scale sweep path: ``scale_smoke_points``, the
+``smoke-scale`` / ``refresh-baseline`` / ``summarize`` CLI commands, and
+the events/sec plumbing they share.  The CLI runs use toy sizes — the
+real 1024-4096 grid is the CI scale-smoke job's business."""
+
+from __future__ import annotations
+
+import json
+
+from repro.orchestrate.__main__ import DEFAULT_BASELINE, main
+from repro.orchestrate.benchjson import load_bench_json
+from repro.orchestrate.points import scale_smoke_points
+
+
+def test_scale_grid_covers_sizes_and_topologies():
+    points = scale_smoke_points()
+    assert len(points) == 6
+    cells = {(p.config.size, p.config.net.topology) for p in points}
+    assert cells == {(size, topo)
+                     for size in (1024, 2048, 4096)
+                     for topo in ("fattree", "torus")}
+    for p in points:
+        assert p.experiment == "scale_smoke"
+        assert p.kind == "cpu_util"
+        assert p.build == "ab"
+        assert p.config.factory == "extrapolated"
+        # Scale points run without the invariant monitor: the wall-clock
+        # budget is the point, and the smoke grids own invariant coverage.
+        assert not p.collect_invariants
+
+
+def test_scale_keys_are_distinct():
+    keys = [json.dumps(p.key(), sort_keys=True)
+            for p in scale_smoke_points()]
+    assert len(set(keys)) == len(keys)
+
+
+def test_smoke_scale_cli_writes_bench_json(tmp_path, capsys):
+    rc = main(["smoke-scale", "--jobs", "1", "--sizes", "4", "8",
+               "--out", str(tmp_path)])
+    assert rc == 0
+    payload = load_bench_json(tmp_path / "BENCH_scale.json")
+    assert payload["name"] == "scale"
+    assert len(payload["points"]) == 4
+    assert payload["events_per_sec"] > 0
+    for record in payload["points"]:
+        assert record["events_per_sec"] > 0
+    assert "events/s" in capsys.readouterr().out
+
+
+def test_refresh_baseline_cli(tmp_path, capsys):
+    target = tmp_path / "BENCH_smoke.baseline.json"
+    rc = main(["refresh-baseline", "--jobs", "1", "--iterations", "2",
+               "--path", str(target)])
+    assert rc == 0
+    payload = load_bench_json(target)
+    assert payload["name"] == "smoke"
+    assert payload["points"]
+    assert "commit it" in capsys.readouterr().out
+
+
+def test_default_baseline_is_committed():
+    """The CI gate compares against this path; it must exist in-tree and
+    parse as a schema-1 smoke payload with the full default grid."""
+    payload = load_bench_json(DEFAULT_BASELINE)
+    assert payload["name"] == "smoke"
+    assert len(payload["points"]) == 6
+    for record in payload["points"]:
+        assert record["key"]["experiment"] == "smoke"
+        assert record["metrics"]
+
+
+def test_summarize_cli_renders_markdown(tmp_path, capsys):
+    rc = main(["smoke-scale", "--jobs", "1", "--sizes", "4",
+               "--out", str(tmp_path)])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["summarize", str(tmp_path / "BENCH_scale.json")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.startswith("| sweep | point |")
+    assert "**total**" in out
+    assert "| scale |" in out
+
+
+def test_summarize_cli_rejects_missing_file(tmp_path, capsys):
+    rc = main(["summarize", str(tmp_path / "nope.json")])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "Traceback" not in err

@@ -61,7 +61,8 @@ def test_crossbar_counters():
     topo = CrossbarTopology(NetParams(), 4)
     topo.transit(0.0, 0, 1, 100)
     topo.transit(0.0, 2, 3, 100)
-    assert topo.counters() == {"net_hops": 2, "net_switch_forwarded": 2}
+    assert topo.counters() == {"net_hops": 2, "net_switch_forwarded": 2,
+                               "net_route_cache_entries": 2}
 
 
 # ---------------------------------------------------------------------------
