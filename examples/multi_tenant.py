@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Multi-tenant service: four jobs sharing one oversubscribed fat-tree.
+
+Declares a 16-host cluster (4 hosts per edge switch, 4:1 oversubscribed
+uplinks) and submits four independent 4-rank collective jobs through the
+``repro.tenancy`` scheduler.  With ``spread`` placement every job
+straddles all four pods, so the jobs' reductions contend for the same
+uplinks; each job is then re-run alone on an identical idle cluster to
+price that contention (slowdown) and to check who pays it (min-max
+fairness).  Swap ``placement`` to ``topology_aware`` and the scheduler
+keeps each job inside one pod — the contention disappears.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro.tenancy import ClusterSpec, JobSpec, run_tenancy
+
+
+def batch(placement: str) -> list:
+    """Four staggered 4-rank jobs, alternating reduce/allreduce."""
+    return [
+        JobSpec(name=f"tenant{i}", nranks=4,
+                collective=("reduce", "allreduce")[i % 2],
+                elements=1024, build="ab", iterations=6, warmup=1,
+                max_skew_us=100.0, arrival_us=25.0 * i,
+                placement=placement)
+        for i in range(4)
+    ]
+
+
+def main() -> None:
+    cluster = ClusterSpec(hosts=16, factory="quiet", seed=7,
+                          topology="fattree",
+                          fattree_hosts_per_switch=4,
+                          fattree_oversubscription=4.0)
+    for placement in ("spread", "topology_aware"):
+        result = run_tenancy(cluster, batch(placement))
+        metrics = result.metrics()
+        print(f"\n=== placement: {placement} ===")
+        print(f"{'job':<10} {'slots':<18} {'makespan':>10} "
+              f"{'slowdown':>9}")
+        for job in result.jobs:
+            print(f"{job.name:<10} {str(list(job.slots)):<18} "
+                  f"{job.makespan_us:>8.1f}us {job.slowdown:>8.3f}x")
+        print(f"min-max fairness: {metrics['fairness_minmax']:.3f}")
+        assert all(j.checks > 0 for j in result.jobs)
+    print("\nspread pays an uplink contention tax; topology_aware "
+          "keeps each job inside one pod and the tax vanishes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -131,6 +131,18 @@ class InvariantMonitor:
     # ------------------------------------------------------------------
     def record(self, invariant: str, node: Optional[int], time: float,
                detail: str, **context: Any) -> None:
+        # Multi-tenant runs (repro.tenancy) tag each node with its job;
+        # copying the tag into the violation keys INV-* reports by
+        # tenant.  Single-job clusters and idle hosts carry no tag.
+        if node is not None and self._cluster is not None:
+            nodes = getattr(self._cluster, "nodes", ())
+            if 0 <= node < len(nodes):
+                owner = getattr(nodes[node], "job_id", None)
+                if owner is not None:
+                    context.setdefault("job_id", owner)
+                    name = getattr(nodes[node], "job_name", None)
+                    if name is not None:
+                        context.setdefault("job", name)
         violation = Violation(invariant=invariant, node=node, time=time,
                               detail=detail, context=context)
         self.violations.append(violation)
@@ -139,7 +151,7 @@ class InvariantMonitor:
 
     def report(self) -> dict:
         """Structured summary (JSON-serializable)."""
-        return {
+        out = {
             "mode": self.mode,
             "checks": self.checks,
             "violation_count": len(self.violations),
@@ -147,6 +159,16 @@ class InvariantMonitor:
             "fault_report_count": len(self.fault_reports),
             "fault_reports": list(self.fault_reports),
         }
+        by_job: dict[str, int] = {}
+        for v in self.violations:
+            job = v.context.get("job_id")
+            if job is not None:
+                by_job[str(job)] = by_job.get(str(job), 0) + 1
+        if by_job:
+            # Only present on multi-tenant runs, so single-job reports
+            # stay byte-identical to previous checkouts.
+            out["violations_by_job"] = by_job
+        return out
 
     @property
     def ok(self) -> bool:

@@ -126,6 +126,24 @@ SIM008_MODULES = frozenset({"random", "time"})
 SIM007_CLASSES = frozenset({"CrossbarSwitch", "Link"})
 SIM007_ALLOWED_PREFIXES = ("repro/network/", "repro/topo/")
 
+#: SIM013: the shared-fabric primitives a *job* must never build for
+#: itself — under multi-tenancy every job receives host slots on the one
+#: cluster the scheduler owns (see DESIGN.md §14), so constructing a
+#: fabric/topology/cluster in job-level code forks the simulated world.
+#: Allowed: the tenancy/orchestration service layers that own the shared
+#: cluster, the legacy single-job entry point (``repro.runtime``), the
+#: layers that implement the primitives themselves, and tests.
+SIM013_CLASSES = frozenset({
+    "Fabric", "Cluster", "Topology", "CrossbarTopology",
+    "FatTreeTopology", "TorusTopology", "make_topology"})
+#: (Paths are normalized to start at the last ``repro`` component; test
+#: files reduce to their basename — hence the ``test_``/``conftest``
+#: entries.)
+SIM013_ALLOWED_PREFIXES = (
+    "repro/tenancy/", "repro/orchestrate/", "repro/runtime/",
+    "repro/cluster/", "repro/network/", "repro/topo/",
+    "test_", "conftest")
+
 #: SIM009: segmented-pipeline primitives whose construction belongs to
 #: the segment planner / AB engine, and the packages allowed to build
 #: them directly.
@@ -491,6 +509,40 @@ class DirectSegmentCtor(Rule):
                          f" outside a `PipelineParams(...)` call — segment "
                          f"sizing flows through the config block so every "
                          f"rank plans identically")
+
+
+@register
+class JobLevelFabricCtor(Rule):
+    """Jobs must receive the shared fabric from the scheduler — a
+    ``Fabric``/``Cluster``/``Topology`` built inside job-level code is a
+    private world whose contention, routes, and invariants the tenancy
+    layer can't see."""
+
+    spec = RuleSpec(
+        "SIM013",
+        "fabric/cluster/topology construction in job-level code "
+        "(jobs receive the shared fabric from the scheduler)")
+    node_types = (ast.Call,)
+
+    def check(self, ctx: Any, node: ast.Call) -> None:
+        if ctx.path.startswith(SIM013_ALLOWED_PREFIXES):
+            return
+        name = callee_name(node.func)
+        if name not in SIM013_CLASSES:
+            return
+        # Only flag the repro fabric primitives: a same-named class from
+        # an unrelated module resolves to a dotted path without any
+        # cluster/network/topo component.
+        dotted = ctx.dotted(node.func) or name
+        if dotted != name and not any(
+                part in ("cluster", "network", "topo", "fabric", "runtime")
+                for part in dotted.split(".")):
+            return
+        ctx.emit("SIM013", node,
+                 f"direct `{name}(...)` construction in job-level code — "
+                 f"jobs must receive host slots on the shared fabric from "
+                 f"the tenancy scheduler (declare a `ClusterSpec` and "
+                 f"submit `JobSpec`s, or use `repro.runtime.run_program`)")
 
 
 # ---------------------------------------------------------------------------

@@ -95,6 +95,12 @@ class Node:
         #: The AB engine bound to this node's rank, registered by
         #: AbEngine.__init__ so fault counters can reach its stats.
         self.ab_engine = None
+        #: Tenant tags set by repro.tenancy when this node's slot is
+        #: granted to a job; None on single-job clusters and idle hosts.
+        #: The invariant monitor copies them into every violation so
+        #: INV-* reports from co-tenant runs name the tenant.
+        self.job_id = None
+        self.job_name = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Node {self.id} {self.spec.name}>"

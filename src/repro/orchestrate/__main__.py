@@ -31,6 +31,16 @@ Commands:
     all under the invariant monitor (INV-SEGMENT included), written to
     ``BENCH_pipeline_smoke.json`` plus ``pipeline-invariant-report.json``.
 
+``smoke-tenancy [--jobs N] [--out DIR] [--seed S] [--cache DIR | --no-cache]``
+    Same contract over the multi-tenant service (repro.tenancy): 1 and 2
+    co-tenant jobs on a fat-tree and a torus, both builds, with per-job
+    makespan/slowdown/fairness metrics, written to
+    ``BENCH_tenancy_smoke.json`` plus ``tenancy-invariant-report.json``.
+    Points are served through the content-addressed result cache
+    (default ``<out>/result-cache``; hit/miss counters land in
+    ``tenancy-smoke-cache-stats.json``); ``--no-cache`` always
+    re-simulates.
+
 ``smoke-scale [--jobs N] [--out DIR] [--seed S] [--sizes N ...]``
     The large-scale DES throughput sweep: 1024/2048/4096-rank
     extrapolated clusters on fat-tree and torus, AB build, tiny iteration
@@ -99,14 +109,21 @@ def _cmd_run_point(args: argparse.Namespace) -> int:
 
 
 def _run_smoke_grid(args: argparse.Namespace, name: str, points,
-                    report_name: str) -> int:
+                    report_name: str, cache=None) -> int:
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    results = run_points(points, jobs=args.jobs,
+    results = run_points(points, jobs=args.jobs, cache=cache,
                          progress=lambda line: print(f"  {line}",
                                                      flush=True))
     bench_path = write_bench_json(name, results, directory=out_dir,
                                   jobs=args.jobs)
+    if cache is not None:
+        stats = cache.stats()
+        stats_path = out_dir / f"{name.replace('_', '-')}-cache-stats.json"
+        stats_path.write_text(json.dumps(stats, indent=2, sort_keys=True)
+                              + "\n")
+        print(f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es) "
+              f"({stats['entries']} stored) -> {stats_path}")
     report = {
         "schema": 1,
         "points": [
@@ -150,6 +167,19 @@ def _cmd_smoke_pipeline(args: argparse.Namespace) -> int:
                                    iterations=args.iterations)
     return _run_smoke_grid(args, "pipeline_smoke", points,
                            "pipeline-invariant-report.json")
+
+
+def _cmd_smoke_tenancy(args: argparse.Namespace) -> int:
+    from .points import tenancy_smoke_points
+    cache = None
+    if not args.no_cache:
+        from ..tenancy import ResultCache
+        cache_dir = args.cache or str(Path(args.out) / "result-cache")
+        cache = ResultCache(cache_dir)
+    points = tenancy_smoke_points(seed=args.seed,
+                                  iterations=args.iterations)
+    return _run_smoke_grid(args, "tenancy_smoke", points,
+                           "tenancy-invariant-report.json", cache=cache)
 
 
 def _cmd_smoke_scale(args: argparse.Namespace) -> int:
@@ -268,6 +298,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_pipe.add_argument("--iterations", type=int, default=6)
     p_pipe.add_argument("--out", default="ci-artifacts")
 
+    p_ten = sub.add_parser("smoke-tenancy",
+                           help="multi-tenant service CI sweep (1-2 "
+                                "co-tenant jobs, fat-tree + torus, both "
+                                "builds) with per-job metrics, invariant "
+                                "collection and the content-addressed "
+                                "result cache")
+    p_ten.add_argument("--jobs", type=int, default=2)
+    p_ten.add_argument("--seed", type=int, default=1)
+    p_ten.add_argument("--iterations", type=int, default=5)
+    p_ten.add_argument("--out", default="ci-artifacts")
+    p_ten.add_argument("--cache", default=None,
+                       help="result-cache directory (default: "
+                            "<out>/result-cache)")
+    p_ten.add_argument("--no-cache", action="store_true",
+                       help="always re-simulate; never read or write "
+                            "the result cache")
+
     p_scale = sub.add_parser("smoke-scale",
                              help="1024-4096 rank DES throughput sweep "
                                   "(fat-tree + torus, AB build)")
@@ -321,6 +368,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_smoke_faults(args)
     if args.command == "smoke-pipeline":
         return _cmd_smoke_pipeline(args)
+    if args.command == "smoke-tenancy":
+        return _cmd_smoke_tenancy(args)
     if args.command == "smoke-scale":
         return _cmd_smoke_scale(args)
     if args.command == "refresh-baseline":

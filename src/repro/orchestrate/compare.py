@@ -48,6 +48,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="REL",
                         help="allowed relative metric difference "
                              "(default 0 — metrics are deterministic)")
+    parser.add_argument("--max-rows", type=int, default=0, metavar="N",
+                        help="cap drift/missing rows in the report "
+                             "(0 = unlimited, the default: every "
+                             "mismatched metric is listed in one run)")
     return parser
 
 
@@ -121,17 +125,23 @@ def compare_payloads(old: dict, new: dict, *, tolerance_pct: float = 10.0,
     }
 
 
-def render_verdict(verdict: dict, old_name: str, new_name: str) -> str:
+def render_verdict(verdict: dict, old_name: str, new_name: str, *,
+                   max_rows: int = 0) -> str:
+    """Render the verdict; ``max_rows`` caps the drift/missing listings
+    (0 = unlimited — the gate's job is to name *every* mismatch)."""
+    cap = max_rows if max_rows > 0 else None
     lines = [f"bench compare: {old_name} -> {new_name}",
              f"  shared points: {verdict['shared_points']}"]
     if verdict["added_points"]:
         lines.append(f"  new points (ignored): "
                      f"{len(verdict['added_points'])}")
-    if verdict["missing_points"]:
-        lines.append(f"  MISSING from new: "
-                     f"{len(verdict['missing_points'])} point(s)")
-        for key in verdict["missing_points"][:10]:
+    missing = verdict["missing_points"]
+    if missing:
+        lines.append(f"  MISSING from new: {len(missing)} point(s)")
+        for key in missing[:cap]:
             lines.append(f"    - {_label(key)}")
+        if cap is not None and len(missing) > cap:
+            lines.append(f"    ... and {len(missing) - cap} more")
 
     drifts = verdict["metric_drifts"]
     if drifts:
@@ -140,12 +150,12 @@ def render_verdict(verdict: dict, old_name: str, new_name: str) -> str:
                  f"{d['new']}",
                  ("inf" if d["rel"] == float("inf")
                   else f"{d['rel'] * 100.0:.4g}%")]
-                for d in drifts[:20]]
+                for d in drifts[:cap]]
         lines.append("    " + _render_rows(
             ["point", "metric", "old", "new", "rel diff"],
             rows).replace("\n", "\n    "))
-        if len(drifts) > 20:
-            lines.append(f"    ... and {len(drifts) - 20} more")
+        if cap is not None and len(drifts) > cap:
+            lines.append(f"    ... and {len(drifts) - cap} more")
 
     wall = verdict["wall"]
     slow = sorted((w for w in wall["per_point"] if w["old"] > 0),
@@ -172,16 +182,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except SystemExit as exc:
         return EXIT_USAGE if exc.code not in (0, None) else EXIT_CLEAN
 
-    try:
-        old = load_bench_json(args.old)
-        new = load_bench_json(args.new)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    # Load both files before bailing so one run reports every problem
+    # (a baseline *and* a candidate can be broken at the same time).
+    payloads = {}
+    errors = []
+    for role, path in (("old", args.old), ("new", args.new)):
+        try:
+            payloads[role] = load_bench_json(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            errors.append(f"error: {role} ({path}): {exc}")
+    if errors:
+        for line in errors:
+            print(line, file=sys.stderr)
         return EXIT_USAGE
 
-    verdict = compare_payloads(old, new, tolerance_pct=args.tolerance,
+    verdict = compare_payloads(payloads["old"], payloads["new"],
+                               tolerance_pct=args.tolerance,
                                metric_tolerance=args.metric_tolerance)
-    print(render_verdict(verdict, args.old, args.new))
+    print(render_verdict(verdict, args.old, args.new,
+                         max_rows=args.max_rows))
     return EXIT_CLEAN if verdict["ok"] else EXIT_REGRESSION
 
 

@@ -309,6 +309,23 @@ def _run_fault_reduce(point: SweepPoint, config: ClusterConfig):
     return r, metrics, counters
 
 
+def _run_tenancy(point: SweepPoint, config: ClusterConfig):
+    """Multi-tenant service point: N declarative jobs on one shared
+    fabric (repro.tenancy).  ``point.options`` carries the ClusterSpec
+    and JobSpec dicts; ``point.config`` mirrors the spec's lowered
+    ConfigSpec so the BENCH key's variant digest reflects the topology
+    knobs.  Returns no live result object (a Cluster does not cross the
+    process-pool pickle boundary); everything BENCH needs is in the
+    metrics."""
+    from ..tenancy import ClusterSpec, JobSpec, run_tenancy
+    del config  # the spec rebuilds its own config (kept in options)
+    spec = ClusterSpec.from_dict(point.options["cluster"])
+    jobs = [JobSpec.from_dict(j) for j in point.options["jobs"]]
+    r = run_tenancy(spec, jobs,
+                    solo_baseline=bool(point.options.get("solo", True)))
+    return None, r.metrics(), dict(r.sim_counters)
+
+
 def _run_chaos(point: SweepPoint, config: ClusterConfig):
     """Deliberately unreliable executor for exercising the retry path
     (tests and fault drills only).  Fails until a counter file records
@@ -462,6 +479,54 @@ def pipeline_smoke_points(*, seed: int = 1, iterations: int = 6,
     return points
 
 
+def tenancy_smoke_points(*, seed: int = 1, iterations: int = 5,
+                         collect_invariants: bool = True
+                         ) -> list["SweepPoint"]:
+    """CI smoke grid for the multi-tenant service (repro.tenancy): 1 and
+    2 co-tenant jobs on an oversubscribed fat-tree and a torus, both
+    builds, spread placement (the adversarial one — every collective
+    crosses uplinks, so fat-tree co-tenants genuinely contend; on the
+    torus, dimension-order routing keeps column-spread tenants
+    link-disjoint, a free demonstration that placement x topology
+    decides contention).  Jobs alternate reduce/allreduce and arrive
+    staggered.  Each point also runs the per-job solo baselines, so
+    slowdown and min-max fairness land in BENCH json.  The co-tenant
+    count is encoded in the experiment tag (``tenancy_smoke-2j``)
+    because SweepPoint.key() does not cover executor options."""
+    from ..tenancy import ClusterSpec, JobSpec
+    clusters = [
+        ClusterSpec(hosts=16, factory="quiet", seed=seed,
+                    topology="fattree", fattree_hosts_per_switch=4,
+                    fattree_oversubscription=4.0),
+        ClusterSpec(hosts=16, factory="quiet", seed=seed,
+                    topology="torus"),
+    ]
+    collectives = ("reduce", "allreduce")
+    points = []
+    for cluster in clusters:
+        for njobs in (1, 2):
+            for build in ("nab", "ab"):
+                jobs = [
+                    JobSpec(name=f"t{i}", nranks=4,
+                            collective=collectives[i % len(collectives)],
+                            elements=2048, build=build,
+                            iterations=iterations, warmup=1,
+                            max_skew_us=100.0, arrival_us=25.0 * i,
+                            placement="spread")
+                    for i in range(njobs)
+                ]
+                points.append(SweepPoint(
+                    experiment=f"tenancy_smoke-{njobs}j", kind="tenancy",
+                    config=cluster.to_config_spec(),
+                    build=build, elements=2048, max_skew_us=100.0,
+                    iterations=iterations, warmup=1,
+                    collect_invariants=collect_invariants,
+                    options={"cluster": cluster.to_dict(),
+                             "jobs": [j.to_dict() for j in jobs],
+                             "solo": True}))
+    return points
+
+
 def scale_smoke_points(*, seed: int = 1, iterations: int = 2,
                        sizes: tuple = (1024, 2048, 4096),
                        collect_invariants: bool = False
@@ -494,6 +559,7 @@ KINDS: dict[str, Callable] = {
     "nicred_cpu_util": _run_nicred_cpu,
     "nicred_latency": _run_nicred_latency,
     "fault_reduce": _run_fault_reduce,
+    "tenancy": _run_tenancy,
     "chaos": _run_chaos,
 }
 

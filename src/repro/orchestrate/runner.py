@@ -43,7 +43,8 @@ class PointFailed(RuntimeError):
 
 def run_points(points: Sequence[SweepPoint], *, jobs: int = 1,
                retries: int = 1,
-               progress: Optional[ProgressFn] = None) -> list[PointResult]:
+               progress: Optional[ProgressFn] = None,
+               cache=None) -> list[PointResult]:
     """Execute ``points`` and return results in submission order.
 
     ``jobs <= 1`` runs everything serially in-process (no pickling, no
@@ -51,8 +52,39 @@ def run_points(points: Sequence[SweepPoint], *, jobs: int = 1,
     paths share the retry policy, and both produce identical metrics —
     the simulator is deterministic per (config, seed), and the merge is
     keyed by index, not completion order.
+
+    ``cache`` (a :class:`repro.tenancy.cache.ResultCache`) short-circuits
+    any point whose content address is already stored — the served
+    result carries the *original* metrics and wall time, so a warm sweep
+    is byte-identical to the cold one — and stores every freshly
+    executed point on the way out.  Cache hits preserve submission-order
+    merging: hits fill their index immediately, misses run through the
+    normal serial/pool path.
     """
     points = list(points)
+    if cache is None:
+        return _run_all(points, jobs=jobs, retries=retries,
+                        progress=progress)
+    results: list[Optional[PointResult]] = [None] * len(points)
+    misses: list[tuple[int, SweepPoint]] = []
+    for i, point in enumerate(points):
+        hit = cache.get(point)
+        if hit is not None:
+            results[i] = hit
+            if progress is not None:
+                progress(f"{point.label()} -> served from cache")
+        else:
+            misses.append((i, point))
+    fresh = _run_all([p for _, p in misses], jobs=jobs, retries=retries,
+                     progress=progress)
+    for (i, _), res in zip(misses, fresh):
+        cache.put(res)
+        results[i] = res
+    return results  # type: ignore[return-value]
+
+
+def _run_all(points: list[SweepPoint], *, jobs: int, retries: int,
+             progress: Optional[ProgressFn]) -> list[PointResult]:
     if jobs <= 1 or len(points) <= 1:
         return [_run_serial(p, retries=retries, progress=progress)
                 for p in points]

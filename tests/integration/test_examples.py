@@ -2,12 +2,15 @@
 point (examples are documentation that executes)."""
 
 import importlib.util
+import os
 import pathlib
+import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 
 def load_example(name: str):
@@ -24,8 +27,26 @@ ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
 def test_every_example_is_covered():
     """Keep this list in sync: a new example must get a smoke test."""
     assert ALL_EXAMPLES == ["compute_overlap", "fault_injection",
-                            "heterogeneous_cluster", "quickstart",
-                            "skew_tolerance", "timeline_demo"]
+                            "heterogeneous_cluster", "multi_tenant",
+                            "quickstart", "skew_tolerance",
+                            "timeline_demo"]
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs_as_script(name):
+    """Every file in examples/ must run green exactly as the README says:
+    ``PYTHONPATH=src python examples/<name>.py`` from a clean checkout —
+    a fresh interpreter, not this test process's import state."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / f"{name}.py")],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=300)
+    assert proc.returncode == 0, (
+        f"examples/{name}.py exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}")
+    assert proc.stdout.strip(), f"examples/{name}.py printed nothing"
 
 
 def test_quickstart(capsys):
@@ -62,6 +83,18 @@ def test_heterogeneous_cluster(capsys):
     out = capsys.readouterr().out
     assert "16 x p3-700/pci64b" in out
     assert "'last node' (latency benchmark peer): rank 15" in out
+
+
+def test_multi_tenant(capsys):
+    load_example("multi_tenant").main()
+    out = capsys.readouterr().out
+    assert "=== placement: spread ===" in out
+    assert "=== placement: topology_aware ===" in out
+    assert "min-max fairness" in out
+    assert "the tax vanishes" in out
+    # topology_aware keeps jobs pod-local: every tenant runs solo-speed.
+    aware = out.split("=== placement: topology_aware ===", 1)[1]
+    assert aware.count("1.000x") == 4
 
 
 def test_fault_injection(capsys):

@@ -11,7 +11,8 @@ import pytest
 from repro.orchestrate.benchjson import (bench_payload, events_per_sec,
                                          load_bench_json, write_bench_json)
 from repro.orchestrate.compare import (EXIT_CLEAN, EXIT_REGRESSION,
-                                       EXIT_USAGE, compare_payloads, main)
+                                       EXIT_USAGE, compare_payloads, main,
+                                       render_verdict)
 from repro.orchestrate.points import ConfigSpec, PointResult, SweepPoint
 
 
@@ -132,6 +133,75 @@ def test_usage_error_messages_are_clean(tmp_path, capsys):
     assert main([good, str(not_json)]) == EXIT_USAGE
     err = capsys.readouterr().err
     assert err.startswith("error:") and "Traceback" not in err
+
+
+def _many_drift_payloads(n: int = 40):
+    """Baseline + candidate where every one of ``n`` points drifts in
+    both of its metrics."""
+    results = []
+    for i in range(n):
+        point = SweepPoint(experiment="t", kind="cpu_util",
+                           config=ConfigSpec("paper", 2, 1), build="ab",
+                           elements=4, max_skew_us=float(i),
+                           iterations=5)
+        results.append(PointResult(
+            point=point, metrics={"avg_util_us": 10.0, "p99_us": 20.0},
+            wall_time_s=1.0, counters={"events": 100}))
+    old = bench_payload("t", results, jobs=1, sha="cafe")
+    new = copy.deepcopy(old)
+    for record in new["points"]:
+        record["metrics"]["avg_util_us"] *= 2.0
+        record["metrics"]["p99_us"] *= 3.0
+    return old, new
+
+
+def test_all_metric_drifts_reported_in_one_run(tmp_path, capsys):
+    """The gate must name EVERY mismatched metric in a single run — a
+    40-point sweep where both metrics drift yields 80 rows, none elided."""
+    old, new = _many_drift_payloads(40)
+    verdict = compare_payloads(old, new)
+    assert len(verdict["metric_drifts"]) == 80
+    assert main([_write(tmp_path, "old.json", old),
+                 _write(tmp_path, "new.json", new)]) == EXIT_REGRESSION
+    out = capsys.readouterr().out
+    assert "METRIC DRIFT in 80 value(s)" in out
+    assert "more" not in out                 # nothing truncated by default
+    assert out.count("avg_util_us") == 40
+    assert out.count("p99_us") == 40
+
+
+def test_max_rows_caps_the_listing(tmp_path, capsys):
+    old, new = _many_drift_payloads(40)
+    assert main([_write(tmp_path, "old.json", old),
+                 _write(tmp_path, "new.json", new),
+                 "--max-rows", "5"]) == EXIT_REGRESSION
+    out = capsys.readouterr().out
+    assert "METRIC DRIFT in 80 value(s)" in out
+    assert "... and 75 more" in out
+
+
+def test_max_rows_caps_missing_points():
+    old, _ = _many_drift_payloads(12)
+    empty = copy.deepcopy(old)
+    empty["points"] = []
+    verdict = compare_payloads(old, empty)
+    text = render_verdict(verdict, "old", "new", max_rows=3)
+    assert "MISSING from new: 12 point(s)" in text
+    assert "... and 9 more" in text
+    full = render_verdict(verdict, "old", "new")
+    assert "more" not in full and full.count("skew=") == 12
+
+
+def test_both_load_errors_reported_in_one_run(tmp_path, capsys):
+    """When baseline AND candidate are unreadable, one run names both."""
+    missing = str(tmp_path / "missing.json")
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{nope")
+    assert main([missing, str(corrupt)]) == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert f"old ({missing})" in err
+    assert f"new ({corrupt})" in err
+    assert "Traceback" not in err
 
 
 def test_injected_slowdown_fails_gate(tmp_path):

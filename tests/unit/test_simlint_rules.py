@@ -589,6 +589,70 @@ def test_sim012_non_callback_method_is_clean(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# SIM013 — fabric/cluster/topology construction in job-level code
+# ----------------------------------------------------------------------
+def test_sim013_job_level_cluster_construction_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.cluster.cluster import Cluster
+        from repro.network.fabric import Fabric
+
+        def job(config, sim):
+            cluster = Cluster(config)
+            fabric = Fabric(sim, config.net, config.size)
+            return cluster, fabric
+    """, relpath="repro/apps/bad.py")
+    assert rules_of(findings) == ["SIM013", "SIM013"]
+    assert "shared fabric" in findings[0].message
+
+
+def test_sim013_topology_factory_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.topo import base
+
+        def job(params, nodes):
+            return base.make_topology(params, nodes)
+    """, relpath="repro/experiments/bad.py")
+    assert rules_of(findings) == ["SIM013"]
+
+
+def test_sim013_service_layers_allowed(tmp_path):
+    source = """
+        from repro.cluster.cluster import Cluster
+        from repro.network.fabric import Fabric
+        from repro.topo.base import make_topology
+
+        def build(sim, config):
+            return (Cluster(config), Fabric(sim, config.net, config.size),
+                    make_topology(config.net, config.size))
+    """
+    for relpath in ("repro/tenancy/svc.py", "repro/orchestrate/svc.py",
+                    "repro/runtime/svc.py", "repro/cluster/svc.py",
+                    "repro/network/svc.py", "repro/topo/svc.py",
+                    "tests/unit/test_svc.py"):
+        assert lint_source(tmp_path, source, relpath=relpath) == [], relpath
+
+
+def test_sim013_unrelated_same_named_class_not_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        import sklearn.cluster_viz as viz
+
+        def render(points):
+            return viz.charts.Cluster(points)
+    """, relpath="repro/apps/render.py")
+    assert findings == []
+
+
+def test_sim013_pragma_suppression(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.cluster.cluster import Cluster
+
+        def probe(config):
+            return Cluster(config)  # simlint: ignore[SIM013]
+    """, relpath="repro/apps/probe.py")
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
 # rule registry configuration (disable / severity overrides)
 # ----------------------------------------------------------------------
 def test_override_disables_rule(tmp_path):
@@ -643,6 +707,6 @@ def test_registry_lists_all_rules():
     from repro.analysis.rules import REGISTRY, rule_table
     table = rule_table()
     assert {"SIM000", "SIM001", "SIM009", "SIM010", "SIM011",
-            "SIM012"} <= set(table)
+            "SIM012", "SIM013"} <= set(table)
     assert REGISTRY["SIM012"].spec.severity == "warning"
     assert REGISTRY["SIM010"].spec.sim_scope_only
