@@ -377,7 +377,8 @@ def check_points(points: list, *, runs: int = 8, seed: int = 1,
 
 def _scenario_factories() -> dict[str, Callable[..., list]]:
     from ..orchestrate.points import (faults_smoke_points,
-                                      pipeline_smoke_points, smoke_points,
+                                      pipeline_smoke_points,
+                                      schedule_smoke_points, smoke_points,
                                       tenancy_smoke_points,
                                       topo_smoke_points)
     return {
@@ -386,6 +387,7 @@ def _scenario_factories() -> dict[str, Callable[..., list]]:
         "faults": faults_smoke_points,
         "pipeline": pipeline_smoke_points,
         "tenancy": tenancy_smoke_points,
+        "schedule": schedule_smoke_points,
     }
 
 

@@ -150,6 +150,20 @@ SIM013_ALLOWED_PREFIXES = (
 SIM009_CLASSES = frozenset({"Segment", "Segmenter", "ReduceDescriptor"})
 SIM009_ALLOWED_PREFIXES = ("repro/pipeline/", "repro/core/")
 
+#: SIM014: the primitives that spell out a collective's send/recv
+#: ordering by hand — posting NIC descriptors (``start_send``) or
+#: framing AB protocol headers (``AbHeader``).  Since repro.schedule,
+#: collective orderings are data: lower to a Schedule (or call the
+#: engine/MPI APIs) instead of hand-constructing the wire order, so the
+#: validator can prove the ordering deadlock-free and the interpreter
+#: stays the single execution path.  Allowed: the layers that implement
+#: collectives (schedule/core/mpich/pipeline) and tests.
+SIM014_CALLS = frozenset({"start_send"})
+SIM014_CLASSES = frozenset({"AbHeader"})
+SIM014_ALLOWED_PREFIXES = (
+    "repro/schedule/", "repro/core/", "repro/mpich/", "repro/pipeline/",
+    "test_", "conftest")
+
 #: Fully-qualified callables that read the host wall clock or ambient
 #: process state.
 WALL_CLOCK_CALLS = frozenset({
@@ -543,6 +557,47 @@ class JobLevelFabricCtor(Rule):
                  f"jobs must receive host slots on the shared fabric from "
                  f"the tenancy scheduler (declare a `ClusterSpec` and "
                  f"submit `JobSpec`s, or use `repro.runtime.run_program`)")
+
+
+@register
+class HandRolledCollectiveOrder(Rule):
+    """A send/recv ordering spelled out by hand — NIC descriptor posts or
+    AB header framing outside the collective layers — bypasses the
+    schedule IR's validator (matched sends, deadlock-freedom) and forks
+    the execution path the interpreter keeps bit-identical."""
+
+    spec = RuleSpec(
+        "SIM014",
+        "hand-constructed collective send/recv ordering outside "
+        "repro.schedule/repro.core (lower to a Schedule instead)")
+    node_types = (ast.Call,)
+
+    def check(self, ctx: Any, node: ast.Call) -> None:
+        if ctx.path.startswith(SIM014_ALLOWED_PREFIXES):
+            return
+        name = callee_name(node.func)
+        if name in SIM014_CALLS and isinstance(node.func, ast.Attribute):
+            ctx.emit("SIM014", node,
+                     f"direct `{name}(...)` descriptor post outside the "
+                     f"collective layers — lower the ordering to a "
+                     f"`repro.schedule` Schedule (validated, "
+                     f"interpreter-executed) or go through the engine/MPI "
+                     f"APIs")
+            return
+        if name in SIM014_CLASSES:
+            # Only flag the repro protocol header: a same-named class from
+            # an unrelated module resolves to a dotted path without any
+            # mpich/message component.
+            dotted = ctx.dotted(node.func) or name
+            if dotted != name and not any(
+                    part in ("mpich", "message")
+                    for part in dotted.split(".")):
+                return
+            ctx.emit("SIM014", node,
+                     f"hand-framed `{name}(...)` outside the collective "
+                     f"layers — AB wire framing belongs to the engine; "
+                     f"express the collective as a `repro.schedule` "
+                     f"Schedule and let the interpreter execute it")
 
 
 # ---------------------------------------------------------------------------

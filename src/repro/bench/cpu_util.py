@@ -36,7 +36,6 @@ from ..mpich.operations import SUM
 from ..mpich.rank import MpiBuild
 from ..runtime.program import run_program
 from ..sim.trace import Tracer
-from ..topo.trees import make_tree_shape
 from .skew import SkewModel, conservative_latency_estimate
 from .stats import SampleSummary, summarize
 
@@ -94,8 +93,9 @@ def cpu_util_benchmark(config: ClusterConfig, build: MpiBuild, *,
     size = config.size
     total_iters = warmup + iterations
     if catchup_us is None:
-        shape = make_tree_shape(config.mpi.tree_shape,
-                                radix=config.mpi.tree_radix)
+        from ..schedule.table import config_tree_shape
+        shape = config_tree_shape(
+            config, elements * np.dtype(np.float64).itemsize)
         catchup_us = max_skew_us + conservative_latency_estimate(
             size, elements, shape=shape)
 

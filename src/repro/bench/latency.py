@@ -29,7 +29,6 @@ from ..mpich.operations import SUM
 from ..mpich.rank import MpiBuild
 from ..runtime.program import run_program
 from ..sim.trace import Tracer
-from ..topo.trees import make_tree_shape
 from .skew import SkewModel
 from .stats import SampleSummary, summarize
 
@@ -96,8 +95,8 @@ def latency_benchmark(config: ClusterConfig, build: MpiBuild, *,
     size = config.size
     if size < 2:
         raise ValueError("latency benchmark needs at least two nodes")
-    shape = make_tree_shape(config.mpi.tree_shape,
-                            radix=config.mpi.tree_radix)
+    from ..schedule.table import config_tree_shape
+    shape = config_tree_shape(config, elements * np.dtype(np.float64).itemsize)
     last_rel = shape.deepest_rel(size)
     last = tree.absolute_rank(last_rel, root, size)
     if last == root:  # size == 1 handled above; defensive

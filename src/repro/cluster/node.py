@@ -83,9 +83,13 @@ class Node:
         )
         self.pinned = PinnedMemoryManager(config.nic, spec.host_scale())
         #: Collective tree shape shared by MPI collectives and the AB
-        #: engines (every node computes the identical tree).
-        self.tree_shape = make_tree_shape(config.mpi.tree_shape,
-                                          radix=config.mpi.tree_radix)
+        #: engines (every node computes the identical tree).  With
+        #: ``tree_shape="auto"`` this is the deterministic fallback shape;
+        #: collectives resolve per message size via :meth:`tree_shape_for`.
+        self._auto_tree = config.mpi.tree_shape == "auto"
+        self.tree_shape = make_tree_shape(
+            "binomial" if self._auto_tree else config.mpi.tree_shape,
+            radix=config.mpi.tree_radix)
         #: Deterministic RNG streams; installed by Cluster right after
         #: construction (shared across the whole cluster).
         self.rng = None
@@ -101,6 +105,33 @@ class Node:
         #: INV-* reports from co-tenant runs name the tenant.
         self.job_id = None
         self.job_name = None
+
+    def tree_shape_for(self, nbytes: int):
+        """Tree shape for a payload of ``nbytes``.
+
+        Static configs always return the shared :attr:`tree_shape` object;
+        ``tree_shape="auto"`` consults the tuning table
+        (:mod:`repro.schedule.table`) with a deterministic binomial
+        fallback.  All nodes share the config, so every rank resolves the
+        identical shape without negotiation.
+        """
+        if not self._auto_tree:
+            return self.tree_shape
+        from ..schedule.table import resolve_tree_shape
+        return resolve_tree_shape(self.config, nbytes)
+
+    def pipeline_params_for(self, nbytes: int):
+        """Concrete pipeline params for a payload of ``nbytes``.
+
+        Static configs return ``config.pipeline`` unchanged;
+        ``segment_size_bytes="auto"`` consults the tuning table with a
+        deterministic disarmed fallback.
+        """
+        params = self.config.pipeline
+        if params.segment_size_bytes != "auto":
+            return params
+        from ..schedule.table import resolve_pipeline_params
+        return resolve_pipeline_params(self.config, nbytes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Node {self.id} {self.spec.name}>"

@@ -175,7 +175,10 @@ class MpiParams:
     #: Allocating + enqueueing an unexpected-queue entry (excl. the copy).
     unexpected_insert_us: float = 0.3
     #: Reduction/broadcast tree shape (see ``repro.topo.TREE_SHAPES``):
-    #: "binomial" (MPICH default), "knomial", "chain" or "bine".
+    #: "binomial" (MPICH default), "knomial", "chain" or "bine" — or
+    #: "auto", which consults the persisted tuning table
+    #: (``repro.schedule.table``) per message size, falling back to
+    #: binomial when no entry matches.
     tree_shape: str = "binomial"
     #: Radix for shapes that take one (k-nomial); ignored by the rest.
     tree_radix: int = 2
@@ -367,8 +370,11 @@ class PipelineParams:
     #: Target segment payload size in bytes; 0 disarms the subsystem.
     #: Messages that split into fewer than two segments keep the
     #: whole-message path, so the arming decision is a pure function of
-    #: message size and is globally consistent across ranks.
-    segment_size_bytes: int = 0
+    #: message size and is globally consistent across ranks.  The string
+    #: "auto" consults the persisted tuning table per message size
+    #: (``repro.schedule.table``), falling back to disarmed when no entry
+    #: matches.
+    segment_size_bytes: "int | str" = 0
     #: Maximum number of per-segment reduce descriptors an internal node
     #: keeps open at once (the in-flight window per child; later segments
     #: open as earlier ones complete, driven by the asynchronous side).
@@ -380,7 +386,12 @@ class PipelineParams:
     schedule: str = "fixed"
 
     def validate(self) -> None:
-        if self.segment_size_bytes < 0:
+        if isinstance(self.segment_size_bytes, str):
+            if self.segment_size_bytes != "auto":
+                raise ConfigError(
+                    f"segment_size_bytes must be an int >= 0 or 'auto': "
+                    f"{self.segment_size_bytes!r}")
+        elif self.segment_size_bytes < 0:
             raise ConfigError(
                 f"segment_size_bytes must be >= 0: {self.segment_size_bytes}")
         if self.max_inflight_segments < 1:
@@ -395,6 +406,8 @@ class PipelineParams:
     @property
     def armed(self) -> bool:
         """True when collectives may be segmented."""
+        if self.segment_size_bytes == "auto":
+            return True
         return self.segment_size_bytes > 0
 
 

@@ -50,6 +50,7 @@ from ..sim.events import PRIORITY_TIMER
 from ..sim.process import Busy, WaitFor
 from .delay import exit_delay_window
 from .descriptor import DescriptorQueue, ReduceDescriptor
+from .plan import CollectivePlan
 from .unexpected import AbUnexpectedQueue
 
 
@@ -191,10 +192,14 @@ class AbEngine:
     # ==================================================================
     def reduce(self, sendbuf: np.ndarray, op: Op, root: int,
                comm: Communicator,
-               recvbuf: Optional[np.ndarray] = None) -> Generator:
+               recvbuf: Optional[np.ndarray] = None, *,
+               plan: Optional[CollectivePlan] = None) -> Generator:
         """Application-bypass ``MPI_Reduce`` (falls back where the paper
         does: message beyond the eager limit → default everywhere; root and
-        leaf ranks → default behaviour with AB packet framing)."""
+        leaf ranks → default behaviour with AB packet framing).
+
+        ``plan`` carries schedule-resolved neighbors (see
+        :mod:`repro.core.interpreter`); healing overrides it."""
         size = comm.size
         me = comm.rank_of_world(self.rank.rank)
         if not (0 <= root < size):
@@ -212,7 +217,8 @@ class AbEngine:
             segments = self.pipeline.plan_for(sendbuf)
             if segments is not None:
                 result = yield from self.pipeline.reduce(
-                    sendbuf, op, root, comm, recvbuf, ledger, segments)
+                    sendbuf, op, root, comm, recvbuf, ledger, segments,
+                    plan=plan)
                 return result
         if nbytes > min(self.costs.ab_eager_limit_bytes,
                         self.costs.eager_limit_bytes):
@@ -247,7 +253,7 @@ class AbEngine:
                                            comm, recvbuf)
             return result
 
-        shape = self.rank.tree_shape
+        shape = self.rank.tree_shape_for(nbytes)
         kids_rel = shape.children(rel, size)
         header = AbHeader(root=root_world, instance=instance, kind="reduce")
         if self._heal:
@@ -268,6 +274,11 @@ class AbEngine:
                 self.stats.subtrees_healed += healed
                 self._report_fault("subtree_healed", instance=instance,
                                    healed=healed)
+        elif plan is not None:
+            # Schedule-injected neighbors: the interpreter already resolved
+            # the tree; healed runs recompute above instead.
+            parent_world = plan.parent_world
+            children_world = list(plan.children_world)
         else:
             parent_world = comm.world_rank(
                 tree.absolute_rank(shape.parent(rel, size), root, size))

@@ -1,0 +1,25 @@
+"""Neighbor plans injected by the schedule interpreter.
+
+A :class:`CollectivePlan` carries the (parent, children) world ranks a
+:class:`~repro.schedule.ir.Schedule` resolved for one rank, so the AB engine
+and pipeline can run schedule-driven collectives without re-deriving the
+tree from config.  When tree healing is active the engines ignore the plan
+and recompute from the healed tree — fault behavior always wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class CollectivePlan:
+    """Resolved reduce-phase neighbors (world ranks) for one rank."""
+
+    parent_world: int
+    children_world: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children_world",
+                           tuple(self.children_world))

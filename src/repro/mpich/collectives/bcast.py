@@ -56,8 +56,8 @@ def bcast_binomial(rank, data: Optional[np.ndarray], root: int,
             raise MpiError("non-root bcast needs a buffer or a count")
     yield Busy.from_ledger(ledger)
 
-    shape = rank.tree_shape
-    pparams = getattr(rank.node.config, "pipeline", None)
+    shape = rank.tree_shape_for(buf.nbytes)
+    pparams = rank.node.pipeline_params_for(buf.nbytes)
     if pparams is not None and pparams.armed:
         from ...pipeline.segmenter import plan_segments
         segments = plan_segments(pparams, buf)

@@ -44,11 +44,12 @@ def reduce_nab(rank, sendbuf: np.ndarray, op: Op, root: int,
         return result
 
     ledger.charge(costs.tree_setup_us, "mpi")
-    shape = rank.tree_shape
+    nbytes = np.asarray(sendbuf).nbytes
+    shape = rank.tree_shape_for(nbytes)
     rel = tree.relative_rank(me, root, size)
     kids = shape.children(rel, size)
 
-    pparams = getattr(rank.node.config, "pipeline", None)
+    pparams = rank.node.pipeline_params_for(nbytes)
     if pparams is not None and pparams.armed:
         from ...pipeline.segmenter import plan_segments
         segments = plan_segments(pparams, np.asarray(sendbuf))

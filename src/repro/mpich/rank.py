@@ -55,6 +55,10 @@ class MpiRank:
         self.progress = ProgressEngine(node)
         self.ab = None  # AbEngine, installed by install_ab()
 
+    def tree_shape_for(self, nbytes: int):
+        """Per-message tree shape ("auto" configs consult the tuning table)."""
+        return self.node.tree_shape_for(nbytes)
+
     def install_ab(self, ab_engine) -> None:
         """Attach the application-bypass engine (AB build only)."""
         if self.build is not MpiBuild.AB:

@@ -31,6 +31,13 @@ Commands:
     all under the invariant monitor (INV-SEGMENT included), written to
     ``BENCH_pipeline_smoke.json`` plus ``pipeline-invariant-report.json``.
 
+``smoke-schedule [--jobs N] [--out DIR] [--seed S]``
+    Same contract over the schedule IR (repro.schedule): each build's
+    reduce lowering on two tree shapes, pass-off (whole message) vs
+    pass-on (``pipeline_segments`` rewrite), executed through the
+    schedule interpreter under the invariant monitor, written to
+    ``BENCH_schedule_smoke.json`` plus ``schedule-invariant-report.json``.
+
 ``smoke-tenancy [--jobs N] [--out DIR] [--seed S] [--cache DIR | --no-cache]``
     Same contract over the multi-tenant service (repro.tenancy): 1 and 2
     co-tenant jobs on a fat-tree and a torus, both builds, with per-job
@@ -48,12 +55,13 @@ Commands:
     ``events_per_sec`` figure per point; the CI job's hard
     ``timeout-minutes`` is the wall-clock gate.
 
-``refresh-baseline [--path P] [--jobs N] [--seed S]``
+``refresh-baseline [--path P] [--schedule-path P] [--jobs N] [--seed S]``
     The one-command baseline refresh for the CI perf gate: re-run the
-    exact ``smoke`` grid and overwrite the committed baseline
-    (``benchmarks/baselines/BENCH_smoke.baseline.json`` by default).
-    Run it whenever a deliberate change moves smoke metrics, commit the
-    result, and say why in the commit message.
+    exact ``smoke`` and ``smoke-schedule`` grids and overwrite the
+    committed baselines (``benchmarks/baselines/BENCH_smoke.baseline.json``
+    and ``benchmarks/baselines/BENCH_schedule_smoke.baseline.json`` by
+    default).  Run it whenever a deliberate change moves smoke metrics,
+    commit the result, and say why in the commit message.
 
 ``summarize BENCH.json ...``
     Render one or more BENCH_*.json files as a GitHub-flavored markdown
@@ -80,14 +88,18 @@ from typing import Optional, Sequence
 
 from .benchjson import events_per_sec, load_bench_json, write_bench_json
 from .points import (SweepPoint, execute_point, faults_smoke_points,
-                     pipeline_smoke_points, scale_smoke_points, smoke_points,
-                     topo_smoke_points)
+                     pipeline_smoke_points, scale_smoke_points,
+                     schedule_smoke_points, smoke_points, topo_smoke_points)
 from .runner import run_points
 
 #: Where the CI perf gate's committed baseline lives (relative to the
 #: repo root); ``refresh-baseline`` writes here by default and CI
 #: compares every fresh BENCH_smoke.json against it.
 DEFAULT_BASELINE = "benchmarks/baselines/BENCH_smoke.baseline.json"
+
+#: Same contract for the schedule-IR grid (``smoke-schedule``).
+DEFAULT_SCHEDULE_BASELINE = \
+    "benchmarks/baselines/BENCH_schedule_smoke.baseline.json"
 
 
 def _cmd_run_point(args: argparse.Namespace) -> int:
@@ -169,6 +181,13 @@ def _cmd_smoke_pipeline(args: argparse.Namespace) -> int:
                            "pipeline-invariant-report.json")
 
 
+def _cmd_smoke_schedule(args: argparse.Namespace) -> int:
+    points = schedule_smoke_points(seed=args.seed,
+                                   iterations=args.iterations)
+    return _run_smoke_grid(args, "schedule_smoke", points,
+                           "schedule-invariant-report.json")
+
+
 def _cmd_smoke_tenancy(args: argparse.Namespace) -> int:
     from .points import tenancy_smoke_points
     cache = None
@@ -203,13 +222,19 @@ def _cmd_smoke_scale(args: argparse.Namespace) -> int:
 
 
 def _cmd_refresh_baseline(args: argparse.Namespace) -> int:
-    points = smoke_points(seed=args.seed, iterations=args.iterations)
-    results = run_points(points, jobs=args.jobs,
-                         progress=lambda line: print(f"  {line}",
-                                                     flush=True))
-    path = write_bench_json("smoke", results, path=args.path,
-                            jobs=args.jobs)
-    print(f"wrote {path} — commit it to refresh the CI perf-gate baseline")
+    grids = [
+        ("smoke", smoke_points(seed=args.seed,
+                               iterations=args.iterations), args.path),
+        ("schedule_smoke",
+         schedule_smoke_points(seed=args.seed), args.schedule_path),
+    ]
+    for name, points, path in grids:
+        results = run_points(points, jobs=args.jobs,
+                             progress=lambda line: print(f"  {line}",
+                                                         flush=True))
+        written = write_bench_json(name, results, path=path, jobs=args.jobs)
+        print(f"wrote {written} — commit it to refresh the CI perf-gate "
+              f"baseline")
     return 0
 
 
@@ -298,6 +323,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_pipe.add_argument("--iterations", type=int, default=6)
     p_pipe.add_argument("--out", default="ci-artifacts")
 
+    p_sched = sub.add_parser("smoke-schedule",
+                             help="schedule-IR CI sweep (lowerings x "
+                                  "tree shapes, pass-on vs pass-off) "
+                                  "with invariant collection")
+    p_sched.add_argument("--jobs", type=int, default=2)
+    p_sched.add_argument("--seed", type=int, default=1)
+    p_sched.add_argument("--iterations", type=int, default=6)
+    p_sched.add_argument("--out", default="ci-artifacts")
+
     p_ten = sub.add_parser("smoke-tenancy",
                            help="multi-tenant service CI sweep (1-2 "
                                 "co-tenant jobs, fat-tree + torus, both "
@@ -332,6 +366,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_base.add_argument("--seed", type=int, default=1)
     p_base.add_argument("--iterations", type=int, default=10)
     p_base.add_argument("--path", default=DEFAULT_BASELINE)
+    p_base.add_argument("--schedule-path",
+                        default=DEFAULT_SCHEDULE_BASELINE)
 
     p_sum = sub.add_parser("summarize",
                            help="render BENCH_*.json files as a markdown "
@@ -368,6 +404,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_smoke_faults(args)
     if args.command == "smoke-pipeline":
         return _cmd_smoke_pipeline(args)
+    if args.command == "smoke-schedule":
+        return _cmd_smoke_schedule(args)
     if args.command == "smoke-tenancy":
         return _cmd_smoke_tenancy(args)
     if args.command == "smoke-scale":

@@ -346,6 +346,30 @@ def _run_chaos(point: SweepPoint, config: ClusterConfig):
     return None, {"attempts": float(attempts)}, {}
 
 
+def _run_schedule(point: SweepPoint, config: ClusterConfig):
+    """Schedule-IR point (repro.schedule): lower the collective named in
+    ``options`` to a Schedule, apply the listed rewrite passes, and execute
+    it through the interpreter on every rank.  ``options["passes"]`` holds
+    pass specs (a name, or ``[name, kwargs]`` after a JSON round trip)."""
+    from ..bench.scheduled import scheduled_benchmark
+    passes = tuple(tuple(p) if isinstance(p, list) else p
+                   for p in point.options.get("passes", ()))
+    r = scheduled_benchmark(
+        config, build_from_tag(point.build),
+        lowering=point.options.get("lowering", "reduce.nab"),
+        passes=passes, elements=point.elements,
+        iterations=point.iterations, warmup=point.warmup)
+    metrics = {
+        "avg_latency_us": r.avg_latency_us,
+        "median_latency_us": r.median_latency_us,
+        "nseg": float(r.nseg),
+        "steps": float(r.steps),
+        "signals": float(r.signals),
+    }
+    counters = dict(r.sim_counters) or {"events": r.events, "ops": r.ops}
+    return r, metrics, counters
+
+
 def smoke_points(*, seed: int = 1, iterations: int = 10,
                  sizes: tuple = (2, 4, 8),
                  collect_invariants: bool = True) -> list["SweepPoint"]:
@@ -479,6 +503,42 @@ def pipeline_smoke_points(*, seed: int = 1, iterations: int = 6,
     return points
 
 
+def schedule_smoke_points(*, seed: int = 1, iterations: int = 6,
+                          size: int = 8,
+                          collect_invariants: bool = True
+                          ) -> list["SweepPoint"]:
+    """CI smoke grid for the schedule IR (repro.schedule): each build's
+    reduce lowering (``reduce.nab`` / ``reduce.ab``) on two tree shapes,
+    pass-off (lowered whole-message, pipeline disarmed) against pass-on
+    (the ``pipeline_segments`` rewrite produces the segmentation the armed
+    config plans).  1024 doubles on the chain shape is where pipelining
+    visibly wins — the crossover ``fig_schedule`` plots.  The pass variant
+    is encoded in the experiment tag because SweepPoint.key() does not
+    cover executor options (the pipeline override alone also changes the
+    config variant digest, but the tag keeps BENCH rows readable)."""
+    lowerings = {"nab": "reduce.nab", "ab": "reduce.ab"}
+    variants = [
+        # (tag, pipeline override or None, passes)
+        ("whole", None, ()),
+        ("pass",
+         PipelineParams(segment_size_bytes=2048, max_inflight_segments=3),
+         ("pipeline_segments",)),
+    ]
+    return [
+        SweepPoint(
+            experiment=f"schedule_smoke-{tag}", kind="schedule",
+            config=ConfigSpec("paper", size, seed,
+                              mpi=MpiParams(tree_shape=shape),
+                              pipeline=pipeline),
+            build=build, elements=1024, iterations=iterations,
+            options={"lowering": lowerings[build], "passes": list(passes)},
+            collect_invariants=collect_invariants)
+        for shape in ("binomial", "chain")
+        for tag, pipeline, passes in variants
+        for build in ("nab", "ab")
+    ]
+
+
 def tenancy_smoke_points(*, seed: int = 1, iterations: int = 5,
                          collect_invariants: bool = True
                          ) -> list["SweepPoint"]:
@@ -561,6 +621,7 @@ KINDS: dict[str, Callable] = {
     "fault_reduce": _run_fault_reduce,
     "tenancy": _run_tenancy,
     "chaos": _run_chaos,
+    "schedule": _run_schedule,
 }
 
 

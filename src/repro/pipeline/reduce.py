@@ -42,6 +42,7 @@ from ..sim.events import PRIORITY_TIMER
 from ..sim.process import Busy, WaitFor
 from ..core.delay import exit_delay_window
 from ..core.descriptor import ReduceDescriptor
+from ..core.plan import CollectivePlan
 from .segmenter import Segment, Segmenter, plan_segments
 
 
@@ -80,12 +81,13 @@ class _WindowState:
     """Per-call window bookkeeping for one pipelined reduce instance."""
 
     __slots__ = ("segments", "staging", "comm", "shape", "root", "size",
-                 "rel", "root_world", "instance", "op", "nseg", "next_seg",
-                 "open", "completed", "advancing")
+                 "rel", "root_world", "instance", "op", "window", "plan",
+                 "nseg", "next_seg", "open", "completed", "advancing")
 
     def __init__(self, segments: list[Segment], staging: np.ndarray,
                  comm: Communicator, shape, root: int, size: int, rel: int,
-                 root_world: int, instance: int, op: Op):
+                 root_world: int, instance: int, op: Op, window: int,
+                 plan: Optional[CollectivePlan] = None):
         self.segments = segments
         self.staging = staging
         self.comm = comm
@@ -96,6 +98,8 @@ class _WindowState:
         self.root_world = root_world
         self.instance = instance
         self.op = op
+        self.window = window
+        self.plan = plan
         self.nseg = len(segments)
         self.next_seg = 0
         self.open = 0
@@ -129,7 +133,8 @@ class AbPipeline:
         (globally identical) config and buffer geometry, so all ranks agree
         without negotiation.
         """
-        segments = plan_segments(self.params, sendbuf)
+        params = self.engine.node.pipeline_params_for(sendbuf.nbytes)
+        segments = plan_segments(params, sendbuf)
         if segments is None:
             return None
         limit = min(self.costs.ab_eager_limit_bytes,
@@ -143,7 +148,8 @@ class AbPipeline:
     # ------------------------------------------------------------------
     def reduce(self, sendbuf: np.ndarray, op: Op, root: int,
                comm: Communicator, recvbuf: Optional[np.ndarray],
-               ledger: Ledger, segments: list[Segment]) -> Generator:
+               ledger: Ledger, segments: list[Segment], *,
+               plan: Optional[CollectivePlan] = None) -> Generator:
         """Pipelined AB reduce; ``ledger`` already carries the call/decision
         charges from :meth:`AbEngine.reduce`, which delegates here."""
         engine = self.engine
@@ -151,7 +157,9 @@ class AbPipeline:
         me = comm.rank_of_world(engine.rank.rank)
         instance = engine._next_instance(comm)
         ledger.charge(self.costs.tree_setup_us, "mpi")
-        shape = engine.rank.tree_shape
+        nbytes = np.asarray(sendbuf).nbytes
+        shape = engine.rank.tree_shape_for(nbytes)
+        window = engine.node.pipeline_params_for(nbytes).max_inflight_segments
         rel = tree.relative_rank(me, root, size)
         root_world = comm.world_rank(root)
         self.stats.pipelined_reduces += 1
@@ -165,7 +173,7 @@ class AbPipeline:
             return result
 
         parent_world, children_world = self._neighbors(
-            comm, shape, root, size, rel, instance)
+            comm, shape, root, size, rel, instance, plan=plan)
         if not children_world:
             # Leaf (by position, or every subtree below crashed): stream the
             # segments back-to-back; nothing to wait for.
@@ -190,7 +198,8 @@ class AbPipeline:
             staging = np.array(flat, copy=True)
             ledger.charge(self.costs.copy_us(staging.nbytes), "copy")
             st = _WindowState(segments, staging, comm, shape, root, size,
-                              rel, root_world, instance, op)
+                              rel, root_world, instance, op, window,
+                              plan=plan)
             self._advance(st, ledger)
             yield Busy.from_ledger(ledger)
 
@@ -229,7 +238,8 @@ class AbPipeline:
     # pipelined MPI_Allreduce (Träff-style reduce/bcast overlap)
     # ------------------------------------------------------------------
     def allreduce(self, sendbuf: np.ndarray, op: Op, comm: Communicator,
-                  segments: list[Segment]) -> Generator:
+                  segments: list[Segment], *,
+                  plan: Optional[CollectivePlan] = None) -> Generator:
         """Segmented reduce-to-0 overlapped with segmented AB broadcast."""
         engine = self.engine
         root = 0
@@ -252,7 +262,7 @@ class AbPipeline:
         # the pipelined reduce (leaf stream or windowed descriptors); it
         # returns with segments still in flight, which is exactly the
         # overlap the down phase then rides.
-        yield from engine.reduce(flat, op, root, comm)
+        yield from engine.reduce(flat, op, root, comm, plan=plan)
         out = np.empty_like(flat)
         for s in segments:
             yield from bcaster.bcast(out[s.offset:s.offset + s.count],
@@ -273,7 +283,7 @@ class AbPipeline:
         engine.stats.root_reduces += 1
         self.stats.pipelined_reduces += 1
         size = comm.size
-        tshape = engine.rank.tree_shape
+        tshape = engine.rank.tree_shape_for(flat.nbytes)
         kids = [tree.absolute_rank(c, root, size)
                 for c in tshape.children(0, size)]
         acc = np.array(flat, copy=True)
@@ -302,7 +312,7 @@ class AbPipeline:
         """
         engine = self.engine
         size = comm.size
-        tshape = engine.rank.tree_shape
+        tshape = engine.rank.tree_shape_for(flat.nbytes)
         kids = [tree.absolute_rank(c, root, size)
                 for c in tshape.children(0, size)]
         acc = np.array(flat, copy=True)
@@ -349,8 +359,7 @@ class AbPipeline:
             return
         st.advancing = True
         try:
-            while (st.open < self.params.max_inflight_segments
-                   and st.next_seg < st.nseg):
+            while st.open < st.window and st.next_seg < st.nseg:
                 self._push_segment(st, ledger)
         finally:
             st.advancing = False
@@ -362,7 +371,8 @@ class AbPipeline:
         # Heal-aware neighbors at *push* time: a subtree healed while
         # earlier segments were in flight re-parents the remaining ones.
         parent_world, children_world = self._neighbors(
-            st.comm, st.shape, st.root, st.size, st.rel, st.instance)
+            st.comm, st.shape, st.root, st.size, st.rel, st.instance,
+            plan=st.plan)
         acc = st.staging[s.offset:s.offset + s.count]
         if not children_world:
             # Every subtree below crashed mid-pipeline: degenerate to a
@@ -421,9 +431,16 @@ class AbPipeline:
                 seg, self.sim.now)
 
     def _neighbors(self, comm: Communicator, shape, root: int, size: int,
-                   rel: int, instance: int) -> tuple[int, list[int]]:
-        """(parent_world, children_world), healed when faults are armed."""
+                   rel: int, instance: int, *,
+                   plan: Optional[CollectivePlan] = None
+                   ) -> tuple[int, list[int]]:
+        """(parent_world, children_world), healed when faults are armed.
+
+        A schedule-injected ``plan`` short-circuits the derivation, but only
+        on healthy runs — healing must keep re-routing mid-pipeline."""
         engine = self.engine
+        if plan is not None and not engine._heal:
+            return plan.parent_world, list(plan.children_world)
         kids_rel = shape.children(rel, size)
         if engine._heal:
             naive_parent = comm.world_rank(

@@ -65,6 +65,10 @@ class Segmenter:
             return [Segment(0, 0, max(total_count, 0), itemsize)]
         if not self.params.armed:
             return [Segment(0, 0, total_count, itemsize)]
+        if self.params.segment_size_bytes == "auto":
+            raise TypeError(
+                "cannot plan segments from an unresolved 'auto' config; "
+                "resolve via Node.pipeline_params_for() first")
         full = max(1, self.params.segment_size_bytes // itemsize)
         counts = (self._greedy_counts(total_count, full)
                   if self.params.schedule == "greedy"

@@ -1,0 +1,382 @@
+"""The schedule IR: frozen per-rank step lists with structural validation.
+
+A :class:`Schedule` describes one collective over ``nranks`` communicator
+ranks as, for every rank, an *ordered* tuple of steps:
+
+``SendStep(peer, seg)``
+    Send this rank's (accumulated) payload for segment ``seg`` to ``peer``
+    on the reduce channel.
+``RecvStep(peer, seg)``
+    Receive a reduce-channel contribution for ``seg`` from ``peer`` into a
+    scratch buffer.
+``FoldStep(child, seg)``
+    Fold the most recent unconsumed receive from ``child`` for ``seg`` into
+    the local accumulator.
+``WaitStep(children, seg)``
+    Application-bypass descriptor completion: the NIC receives *and* folds
+    one contribution per child without host involvement.  For validation it
+    behaves as a combined recv+fold of every child.
+``BcastStep(peer, direction, seg)``
+    Broadcast-channel transfer: ``direction == "recv"`` consumes from the
+    parent, ``direction == "send"`` forwards to a child.
+
+Segment ids are ``-1`` for whole-message schedules (``nseg == 0``) and
+``0 <= seg < nseg`` otherwise.  Peers are communicator ranks.
+
+Validation (:meth:`Schedule.validate`) checks structure, that the send and
+receive multisets match exactly on each channel, that every fold has an
+unconsumed operand, and — by abstractly executing all ranks against buffered
+channels — that no rank blocks forever.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Union
+
+from ..errors import ReproError
+
+SCHEDULE_SCHEMA = 1
+
+
+class ScheduleError(ReproError):
+    """Error constructing or transforming a schedule."""
+
+
+class ScheduleValidationError(ScheduleError):
+    """A schedule failed structural or semantic validation."""
+
+
+class Step:
+    """Base class for schedule steps (frozen dataclass subclasses)."""
+
+    op = "step"
+
+    def with_seg(self, seg: int) -> "Step":
+        """Return a copy of this step tagged with segment id ``seg``."""
+        return replace(self, seg=seg)
+
+    def to_dict(self) -> dict:
+        d = {"step": self.op}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            d[f.name] = value
+        return d
+
+
+@dataclass(frozen=True)
+class SendStep(Step):
+    peer: int
+    seg: int = -1
+    op = "send"
+
+
+@dataclass(frozen=True)
+class RecvStep(Step):
+    peer: int
+    seg: int = -1
+    op = "recv"
+
+
+@dataclass(frozen=True)
+class FoldStep(Step):
+    child: int
+    seg: int = -1
+    op = "fold"
+
+
+@dataclass(frozen=True)
+class BcastStep(Step):
+    peer: int
+    direction: str = "send"
+    seg: int = -1
+    op = "bcast"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("send", "recv"):
+            raise ScheduleError(
+                "BcastStep direction must be 'send' or 'recv', got %r"
+                % (self.direction,))
+
+
+@dataclass(frozen=True)
+class WaitStep(Step):
+    children: tuple = ()
+    seg: int = -1
+    op = "wait"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", tuple(self.children))
+
+
+STEP_TYPES = {cls.op: cls for cls in (SendStep, RecvStep, FoldStep,
+                                      BcastStep, WaitStep)}
+
+AnyStep = Union[SendStep, RecvStep, FoldStep, BcastStep, WaitStep]
+
+
+def step_from_dict(d: dict) -> AnyStep:
+    kind = d.get("step")
+    cls = STEP_TYPES.get(kind)
+    if cls is None:
+        raise ScheduleError("unknown step tag %r" % (kind,))
+    kwargs = {f.name: d[f.name] for f in dataclasses.fields(cls) if f.name in d}
+    if cls is WaitStep and "children" in kwargs:
+        kwargs["children"] = tuple(kwargs["children"])
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An immutable collective schedule over ``nranks`` communicator ranks."""
+
+    collective: str                      # "reduce" | "bcast" | "allreduce"
+    lowering: str                        # registry name that produced it
+    nranks: int
+    root: int = 0
+    nseg: int = 0                        # 0 == whole-message
+    meta: tuple = ()                     # ((key, value), ...) provenance pairs
+    steps: tuple = ()                    # per-rank tuples of Step
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "meta", tuple(tuple(kv) for kv in self.meta))
+        object.__setattr__(self, "steps", tuple(tuple(s) for s in self.steps))
+
+    # ------------------------------------------------------------------
+    # convenience
+
+    def rank_steps(self, rank: int) -> tuple:
+        return self.steps[rank]
+
+    @property
+    def step_count(self) -> int:
+        return sum(len(s) for s in self.steps)
+
+    def with_meta(self, key: str, value: str) -> "Schedule":
+        return replace(self, meta=self.meta + ((key, str(value)),))
+
+    def meta_dict(self) -> dict:
+        return dict(self.meta)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEDULE_SCHEMA,
+            "collective": self.collective,
+            "lowering": self.lowering,
+            "nranks": self.nranks,
+            "root": self.root,
+            "nseg": self.nseg,
+            "meta": [list(kv) for kv in self.meta],
+            "ranks": [[s.to_dict() for s in rank] for rank in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Schedule":
+        schema = d.get("schema")
+        if schema != SCHEDULE_SCHEMA:
+            raise ScheduleError(
+                "unsupported schedule schema %r (expected %d)"
+                % (schema, SCHEDULE_SCHEMA))
+        return cls(
+            collective=d["collective"],
+            lowering=d["lowering"],
+            nranks=int(d["nranks"]),
+            root=int(d.get("root", 0)),
+            nseg=int(d.get("nseg", 0)),
+            meta=tuple((str(k), str(v)) for k, v in d.get("meta", [])),
+            steps=tuple(tuple(step_from_dict(s) for s in rank)
+                        for rank in d.get("ranks", [])),
+        )
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schedule":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # validation
+
+    def validate(self) -> "Schedule":
+        """Raise :class:`ScheduleValidationError` on any defect; return self."""
+        self._check_structure()
+        self._check_matching()
+        self._check_fold_operands()
+        self._check_progress()
+        return self
+
+    def _check_structure(self) -> None:
+        if self.collective not in ("reduce", "bcast", "allreduce"):
+            raise ScheduleValidationError(
+                "unknown collective %r" % (self.collective,))
+        if self.nranks < 1:
+            raise ScheduleValidationError("nranks must be >= 1")
+        if not (0 <= self.root < self.nranks):
+            raise ScheduleValidationError(
+                "root %d out of range for %d ranks" % (self.root, self.nranks))
+        if self.nseg < 0:
+            raise ScheduleValidationError("nseg must be >= 0")
+        if len(self.steps) != self.nranks:
+            raise ScheduleValidationError(
+                "schedule has %d rank step lists for %d ranks"
+                % (len(self.steps), self.nranks))
+        segs = (range(self.nseg) if self.nseg else (-1,))
+        valid_segs = frozenset(segs)
+        for me, rank in enumerate(self.steps):
+            for step in rank:
+                peers: Iterable[int]
+                if isinstance(step, WaitStep):
+                    peers = step.children
+                    if not step.children:
+                        raise ScheduleValidationError(
+                            "rank %d: WaitStep with no children" % me)
+                elif isinstance(step, FoldStep):
+                    peers = (step.child,)
+                elif isinstance(step, (SendStep, RecvStep, BcastStep)):
+                    peers = (step.peer,)
+                else:
+                    raise ScheduleValidationError(
+                        "rank %d: unknown step %r" % (me, step))
+                for peer in peers:
+                    if not (0 <= peer < self.nranks):
+                        raise ScheduleValidationError(
+                            "rank %d: peer %d out of range in %r"
+                            % (me, peer, step))
+                    if peer == me:
+                        raise ScheduleValidationError(
+                            "rank %d: self-referential step %r" % (me, step))
+                if step.seg not in valid_segs:
+                    raise ScheduleValidationError(
+                        "rank %d: segment id %d invalid for nseg=%d in %r"
+                        % (me, step.seg, self.nseg, step))
+
+    def _check_matching(self) -> None:
+        produced: Counter = Counter()
+        consumed: Counter = Counter()
+        for me, rank in enumerate(self.steps):
+            for step in rank:
+                if isinstance(step, SendStep):
+                    produced[("p2p", me, step.peer, step.seg)] += 1
+                elif isinstance(step, RecvStep):
+                    consumed[("p2p", step.peer, me, step.seg)] += 1
+                elif isinstance(step, WaitStep):
+                    for child in step.children:
+                        consumed[("p2p", child, me, step.seg)] += 1
+                elif isinstance(step, BcastStep):
+                    if step.direction == "send":
+                        produced[("bc", me, step.peer, step.seg)] += 1
+                    else:
+                        consumed[("bc", step.peer, me, step.seg)] += 1
+        unmatched_recv = consumed - produced
+        if unmatched_recv:
+            key = next(iter(sorted(unmatched_recv)))
+            raise ScheduleValidationError(
+                "receive without a matching send: channel=%s %d->%d seg=%d "
+                "(%d unmatched key(s))"
+                % (key[0], key[1], key[2], key[3], len(unmatched_recv)))
+        unmatched_send = produced - consumed
+        if unmatched_send:
+            key = next(iter(sorted(unmatched_send)))
+            raise ScheduleValidationError(
+                "send without a matching receive: channel=%s %d->%d seg=%d "
+                "(%d unmatched key(s))"
+                % (key[0], key[1], key[2], key[3], len(unmatched_send)))
+
+    def _check_fold_operands(self) -> None:
+        for me, rank in enumerate(self.steps):
+            pending: Counter = Counter()
+            for step in rank:
+                if isinstance(step, RecvStep):
+                    pending[(step.peer, step.seg)] += 1
+                elif isinstance(step, FoldStep):
+                    key = (step.child, step.seg)
+                    if pending[key] <= 0:
+                        raise ScheduleValidationError(
+                            "rank %d: fold of child %d seg %d has no "
+                            "unconsumed receive" % (me, step.child, step.seg))
+                    pending[key] -= 1
+
+    def _check_progress(self) -> None:
+        """Abstractly execute all ranks; sends buffer, receives block."""
+        channels: Counter = Counter()
+        cursors = [0] * self.nranks
+
+        def runnable(me: int, step: AnyStep) -> bool:
+            if isinstance(step, (SendStep, FoldStep)):
+                return True
+            if isinstance(step, RecvStep):
+                return channels[("p2p", step.peer, me, step.seg)] > 0
+            if isinstance(step, WaitStep):
+                return all(channels[("p2p", c, me, step.seg)] > 0
+                           for c in step.children)
+            if step.direction == "send":
+                return True
+            return channels[("bc", step.peer, me, step.seg)] > 0
+
+        def execute(me: int, step: AnyStep) -> None:
+            if isinstance(step, SendStep):
+                channels[("p2p", me, step.peer, step.seg)] += 1
+            elif isinstance(step, RecvStep):
+                channels[("p2p", step.peer, me, step.seg)] -= 1
+            elif isinstance(step, WaitStep):
+                for c in step.children:
+                    channels[("p2p", c, me, step.seg)] -= 1
+            elif isinstance(step, BcastStep):
+                if step.direction == "send":
+                    channels[("bc", me, step.peer, step.seg)] += 1
+                else:
+                    channels[("bc", step.peer, me, step.seg)] -= 1
+
+        progressed = True
+        while progressed:
+            progressed = False
+            for me, rank in enumerate(self.steps):
+                while cursors[me] < len(rank):
+                    step = rank[cursors[me]]
+                    if not runnable(me, step):
+                        break
+                    execute(me, step)
+                    cursors[me] += 1
+                    progressed = True
+        stuck = [me for me in range(self.nranks)
+                 if cursors[me] < len(self.steps[me])]
+        if stuck:
+            me = stuck[0]
+            raise ScheduleValidationError(
+                "deadlock: %d rank(s) blocked forever (rank %d stuck at %r)"
+                % (len(stuck), me, self.steps[me][cursors[me]]))
+
+
+def reduce_neighbors(schedule: Schedule, rank: int):
+    """Derive (parent, children) for ``rank`` from its reduce-phase steps.
+
+    The parent is the peer of the first :class:`SendStep`; children appear in
+    first-occurrence order across :class:`FoldStep`/:class:`WaitStep`.
+    Returns ``(None, ())`` for the root of a trivial schedule.
+    """
+    parent: Optional[int] = None
+    children: list = []
+    seen = set()
+    for step in schedule.steps[rank]:
+        if isinstance(step, SendStep):
+            if parent is None:
+                parent = step.peer
+        elif isinstance(step, FoldStep):
+            if step.child not in seen:
+                seen.add(step.child)
+                children.append(step.child)
+        elif isinstance(step, WaitStep):
+            for c in step.children:
+                if c not in seen:
+                    seen.add(c)
+                    children.append(c)
+    return parent, tuple(children)

@@ -1,0 +1,218 @@
+"""Lowerings: emit a :class:`~repro.schedule.ir.Schedule` from a tree shape.
+
+Every lowering has the signature ``(shape, size, *, root=0, nseg=0)`` where
+``shape`` is a :class:`repro.topo.trees.TreeShape`, ``size`` the communicator
+size and ``nseg`` the number of pipeline segments (``0`` = whole message).
+The emitted step orders mirror the legacy engine paths exactly — child order
+follows ``shape.children`` for reduce phases and *reversed* children for
+broadcast forwarding, segments are walked seg-major — which is what lets the
+interpreter in :mod:`repro.core.interpreter` replay them bit-identically.
+
+Registered lowerings:
+
+``reduce.nab``
+    Host-level tree reduce (blocking recv+fold per child), whole or
+    seg-major segmented — the ``reduce_nab`` path.
+``reduce.ab``
+    Application-bypass reduce: internal ranks post one NIC descriptor
+    (:class:`WaitStep`) per segment, leaves just send; the root folds on the
+    host exactly like ``reduce.nab``.
+``bcast.tree``
+    Tree broadcast with reversed-child forwarding (both the nab
+    ``bcast_binomial`` and the AB broadcaster use this order).
+``allreduce.reduce_bcast``
+    Sequential nab reduce-to-root followed by tree bcast.
+``allreduce.ab``
+    Sequential AB reduce followed by tree bcast.
+``allreduce.pipelined``
+    Träff-style overlap: the root interleaves per-segment fold and
+    re-broadcast; other ranks run the segmented AB reduce then the segmented
+    bcast.  Requires ``nseg >= 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..mpich.collectives import tree
+from ..topo.trees import TreeShape
+from .ir import (BcastStep, FoldStep, RecvStep, Schedule, ScheduleError,
+                 SendStep, WaitStep)
+
+LOWERINGS: Dict[str, Callable[..., Schedule]] = {}
+
+
+def register_lowering(name: str):
+    """Class/function decorator adding a lowering to :data:`LOWERINGS`."""
+
+    def deco(fn):
+        if name in LOWERINGS:
+            raise ScheduleError("duplicate lowering %r" % (name,))
+        LOWERINGS[name] = fn
+        fn.lowering_name = name
+        return fn
+
+    return deco
+
+
+def lower(name: str, shape: TreeShape, size: int, *, root: int = 0,
+          nseg: int = 0) -> Schedule:
+    """Emit a schedule with the named lowering."""
+    try:
+        fn = LOWERINGS[name]
+    except KeyError:
+        raise ScheduleError(
+            "unknown lowering %r (have: %s)"
+            % (name, ", ".join(sorted(LOWERINGS)))) from None
+    return fn(shape, size, root=root, nseg=nseg)
+
+
+def _check(shape: TreeShape, size: int, root: int, nseg: int) -> None:
+    if size < 1:
+        raise ScheduleError("size must be >= 1")
+    if not (0 <= root < size):
+        raise ScheduleError("root %d out of range for size %d" % (root, size))
+    if nseg < 0 or nseg == 1:
+        raise ScheduleError("nseg must be 0 (whole message) or >= 2")
+
+
+def _segs(nseg: int):
+    return range(nseg) if nseg else (-1,)
+
+
+def _family(shape: TreeShape, size: int, root: int, me: int):
+    """Absolute (parent, children) for communicator rank ``me``."""
+    rel = tree.relative_rank(me, root, size)
+    kids = [tree.absolute_rank(c, root, size)
+            for c in shape.children(rel, size)]
+    parent = (None if rel == 0
+              else tree.absolute_rank(shape.parent(rel, size), root, size))
+    return parent, kids
+
+
+def _meta(shape: TreeShape) -> tuple:
+    return (("shape", shape.name),)
+
+
+def _reduce_rank_steps(parent, kids, nseg: int) -> List:
+    steps: List = []
+    for s in _segs(nseg):
+        for c in kids:
+            steps.append(RecvStep(c, seg=s))
+            steps.append(FoldStep(c, seg=s))
+        if parent is not None:
+            steps.append(SendStep(parent, seg=s))
+    return steps
+
+
+@register_lowering("reduce.nab")
+def lower_reduce_nab(shape: TreeShape, size: int, *, root: int = 0,
+                     nseg: int = 0) -> Schedule:
+    _check(shape, size, root, nseg)
+    ranks = []
+    for me in range(size):
+        parent, kids = _family(shape, size, root, me)
+        ranks.append(tuple(_reduce_rank_steps(parent, kids, nseg)))
+    return Schedule("reduce", "reduce.nab", size, root, nseg,
+                    meta=_meta(shape), steps=tuple(ranks))
+
+
+@register_lowering("reduce.ab")
+def lower_reduce_ab(shape: TreeShape, size: int, *, root: int = 0,
+                    nseg: int = 0) -> Schedule:
+    _check(shape, size, root, nseg)
+    ranks = []
+    for me in range(size):
+        parent, kids = _family(shape, size, root, me)
+        if parent is None:
+            # The AB root folds on the host, exactly like reduce.nab.
+            steps = _reduce_rank_steps(parent, kids, nseg)
+        elif not kids:
+            steps = [SendStep(parent, seg=s) for s in _segs(nseg)]
+        else:
+            steps = []
+            for s in _segs(nseg):
+                steps.append(WaitStep(tuple(kids), seg=s))
+                steps.append(SendStep(parent, seg=s))
+        ranks.append(tuple(steps))
+    return Schedule("reduce", "reduce.ab", size, root, nseg,
+                    meta=_meta(shape), steps=tuple(ranks))
+
+
+def _bcast_rank_steps(parent, kids, nseg: int) -> List:
+    rkids = list(reversed(kids))
+    steps: List = []
+    for s in _segs(nseg):
+        if parent is not None:
+            steps.append(BcastStep(parent, "recv", seg=s))
+        for c in rkids:
+            steps.append(BcastStep(c, "send", seg=s))
+    return steps
+
+
+@register_lowering("bcast.tree")
+def lower_bcast_tree(shape: TreeShape, size: int, *, root: int = 0,
+                     nseg: int = 0) -> Schedule:
+    _check(shape, size, root, nseg)
+    ranks = []
+    for me in range(size):
+        parent, kids = _family(shape, size, root, me)
+        ranks.append(tuple(_bcast_rank_steps(parent, kids, nseg)))
+    return Schedule("bcast", "bcast.tree", size, root, nseg,
+                    meta=_meta(shape), steps=tuple(ranks))
+
+
+@register_lowering("allreduce.reduce_bcast")
+def lower_allreduce_reduce_bcast(shape: TreeShape, size: int, *, root: int = 0,
+                                 nseg: int = 0) -> Schedule:
+    red = lower_reduce_nab(shape, size, root=root, nseg=nseg)
+    bc = lower_bcast_tree(shape, size, root=root, nseg=nseg)
+    steps = tuple(r + b for r, b in zip(red.steps, bc.steps))
+    return Schedule("allreduce", "allreduce.reduce_bcast", size, root, nseg,
+                    meta=_meta(shape), steps=steps)
+
+
+@register_lowering("allreduce.ab")
+def lower_allreduce_ab(shape: TreeShape, size: int, *, root: int = 0,
+                       nseg: int = 0) -> Schedule:
+    red = lower_reduce_ab(shape, size, root=root, nseg=nseg)
+    bc = lower_bcast_tree(shape, size, root=root, nseg=nseg)
+    steps = tuple(r + b for r, b in zip(red.steps, bc.steps))
+    return Schedule("allreduce", "allreduce.ab", size, root, nseg,
+                    meta=_meta(shape), steps=steps)
+
+
+@register_lowering("allreduce.pipelined")
+def lower_allreduce_pipelined(shape: TreeShape, size: int, *, root: int = 0,
+                              nseg: int = 0) -> Schedule:
+    _check(shape, size, root, nseg)
+    if nseg < 2:
+        raise ScheduleError("allreduce.pipelined requires nseg >= 2")
+    ranks = []
+    for me in range(size):
+        parent, kids = _family(shape, size, root, me)
+        rkids = list(reversed(kids))
+        steps: List = []
+        if parent is None:
+            # Root: fold segment k, immediately re-broadcast it — the overlap
+            # that keeps both reduce and bcast links busy.
+            for s in range(nseg):
+                for c in kids:
+                    steps.append(RecvStep(c, seg=s))
+                    steps.append(FoldStep(c, seg=s))
+                for c in rkids:
+                    steps.append(BcastStep(c, "send", seg=s))
+        else:
+            if not kids:
+                steps.extend(SendStep(parent, seg=s) for s in range(nseg))
+            else:
+                for s in range(nseg):
+                    steps.append(WaitStep(tuple(kids), seg=s))
+                    steps.append(SendStep(parent, seg=s))
+            for s in range(nseg):
+                steps.append(BcastStep(parent, "recv", seg=s))
+                for c in rkids:
+                    steps.append(BcastStep(c, "send", seg=s))
+        ranks.append(tuple(steps))
+    return Schedule("allreduce", "allreduce.pipelined", size, root, nseg,
+                    meta=_meta(shape), steps=tuple(ranks))

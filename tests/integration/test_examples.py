@@ -26,10 +26,10 @@ ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
 
 def test_every_example_is_covered():
     """Keep this list in sync: a new example must get a smoke test."""
-    assert ALL_EXAMPLES == ["compute_overlap", "fault_injection",
-                            "heterogeneous_cluster", "multi_tenant",
-                            "quickstart", "skew_tolerance",
-                            "timeline_demo"]
+    assert ALL_EXAMPLES == ["compute_overlap", "custom_pass",
+                            "fault_injection", "heterogeneous_cluster",
+                            "multi_tenant", "quickstart",
+                            "skew_tolerance", "timeline_demo"]
 
 
 @pytest.mark.parametrize("name", ALL_EXAMPLES)
@@ -95,6 +95,14 @@ def test_multi_tenant(capsys):
     # topology_aware keeps jobs pod-local: every tenant runs solo-speed.
     aware = out.split("=== placement: topology_aware ===", 1)[1]
     assert aware.count("1.000x") == 4
+
+
+def test_custom_pass(capsys):
+    load_example("custom_pass").main()
+    out = capsys.readouterr().out
+    assert "custom pass 'to_chain' registered and applied" in out
+    assert "validates and round-trips losslessly" in out
+    assert "shape=chain" in out and "shape=binomial" in out
 
 
 def test_fault_injection(capsys):

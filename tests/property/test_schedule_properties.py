@@ -1,0 +1,142 @@
+"""Property tests for the schedule IR (repro.schedule).
+
+The IR's whole value is that a Schedule is *checkable data*: JSON
+round-trips must be lossless, every registered lowering must produce a
+schedule the validator accepts at any (shape, size, root, nseg), and the
+validator must reject the mutations that correspond to real protocol
+bugs — a dropped send (unmatched recv), a reordered fold (operand not
+yet received), a dangling wait (children that never send).  Hypothesis
+drives all three over the full lowering registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schedule import (LOWERINGS, FoldStep, RecvStep, Schedule,
+                            ScheduleValidationError, SendStep, WaitStep,
+                            lower)
+from repro.topo.trees import make_tree_shape
+
+SHAPES = (("binomial", 2), ("knomial", 4), ("chain", 2), ("bine", 2))
+
+#: Segmented lowerings need nseg >= 2; allreduce.pipelined *requires* it.
+NSEGS = (0, 2, 4)
+
+lowering_names = st.sampled_from(sorted(LOWERINGS))
+shape_params = st.sampled_from(SHAPES)
+sizes = st.integers(min_value=1, max_value=64)
+
+
+def make(name, shape_name, radix, size, root, nseg):
+    shape = make_tree_shape(shape_name, radix=radix)
+    if name == "allreduce.pipelined" and nseg == 0:
+        nseg = 2
+    return lower(name, shape, size, root=root, nseg=nseg)
+
+
+@given(name=lowering_names, shape=shape_params, size=sizes,
+       nseg=st.sampled_from(NSEGS), data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_every_lowering_validates_clean(name, shape, size, nseg, data):
+    root = data.draw(st.integers(min_value=0, max_value=size - 1))
+    schedule = make(name, shape[0], shape[1], size, root, nseg)
+    assert schedule.validate() is schedule
+
+
+@given(name=lowering_names, shape=shape_params, size=sizes,
+       nseg=st.sampled_from(NSEGS), data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_json_round_trip_is_lossless(name, shape, size, nseg, data):
+    root = data.draw(st.integers(min_value=0, max_value=size - 1))
+    schedule = make(name, shape[0], shape[1], size, root, nseg)
+    again = Schedule.from_json(schedule.to_json())
+    assert again == schedule
+    # And a second trip is byte-stable (canonical serialization).
+    assert again.to_json() == schedule.to_json()
+
+
+def _ranks_with(schedule, step_type):
+    return [r for r, steps in enumerate(schedule.steps)
+            if any(isinstance(s, step_type) for s in steps)]
+
+
+def _mutate_rank(schedule, rank, new_steps):
+    steps = list(schedule.steps)
+    steps[rank] = tuple(new_steps)
+    return dataclasses.replace(schedule, steps=tuple(steps))
+
+
+@given(name=lowering_names, shape=shape_params,
+       size=st.integers(min_value=2, max_value=32),
+       nseg=st.sampled_from(NSEGS), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_validator_rejects_dropped_send(name, shape, size, nseg, data):
+    schedule = make(name, shape[0], shape[1], size, 0, nseg)
+    senders = _ranks_with(schedule, SendStep)
+    if not senders:
+        return  # size-2 bcast etc.: nothing to drop on this axis
+    rank = data.draw(st.sampled_from(senders))
+    steps = list(schedule.rank_steps(rank))
+    idx = next(i for i, s in enumerate(steps) if isinstance(s, SendStep))
+    del steps[idx]
+    broken = _mutate_rank(schedule, rank, steps)
+    with pytest.raises(ScheduleValidationError):
+        broken.validate()
+
+
+@given(name=st.sampled_from([n for n in sorted(LOWERINGS)
+                             if n.startswith(("reduce", "allreduce"))]),
+       shape=shape_params, size=st.integers(min_value=3, max_value=32),
+       nseg=st.sampled_from(NSEGS), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_validator_rejects_reordered_fold(name, shape, size, nseg, data):
+    """Moving a FoldStep ahead of its matching RecvStep folds an operand
+    that has not arrived — the per-rank operand scan must catch it."""
+    schedule = make(name, shape[0], shape[1], size, 0, nseg)
+    candidates = []
+    for rank, steps in enumerate(schedule.steps):
+        for i, s in enumerate(steps):
+            if (isinstance(s, FoldStep) and i > 0
+                    and isinstance(steps[i - 1], RecvStep)
+                    and steps[i - 1].peer == s.child
+                    and steps[i - 1].seg == s.seg):
+                candidates.append((rank, i))
+    if not candidates:
+        return  # reduce.ab leaves fold to the NIC (WaitStep)
+    rank, i = data.draw(st.sampled_from(candidates))
+    steps = list(schedule.rank_steps(rank))
+    steps[i - 1], steps[i] = steps[i], steps[i - 1]
+    broken = _mutate_rank(schedule, rank, steps)
+    with pytest.raises(ScheduleValidationError):
+        broken.validate()
+
+
+@given(shape=shape_params, size=st.integers(min_value=2, max_value=32),
+       nseg=st.sampled_from(NSEGS), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_validator_rejects_dangling_wait(shape, size, nseg, data):
+    """A WaitStep naming a child that never sends can never complete."""
+    schedule = make("reduce.ab", shape[0], shape[1], size, 0, nseg)
+    waiters = _ranks_with(schedule, WaitStep)
+    if not waiters:
+        return  # flat tree: root folds, everyone else is a leaf
+    rank = data.draw(st.sampled_from(waiters))
+    steps = list(schedule.rank_steps(rank))
+    idx = next(i for i, s in enumerate(steps) if isinstance(s, WaitStep))
+    wait = steps[idx]
+    # Retarget the wait at a rank that is NOT one of its children (the
+    # extra child never sends to us, so the wait dangles forever).
+    stranger = data.draw(st.sampled_from(
+        [r for r in range(size) if r != rank and r not in wait.children]
+        or [rank]))
+    if stranger == rank:
+        return
+    steps[idx] = dataclasses.replace(
+        wait, children=wait.children + (stranger,))
+    broken = _mutate_rank(schedule, rank, steps)
+    with pytest.raises(ScheduleValidationError):
+        broken.validate()
