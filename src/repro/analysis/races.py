@@ -377,6 +377,7 @@ def check_points(points: list, *, runs: int = 8, seed: int = 1,
 
 def _scenario_factories() -> dict[str, Callable[..., list]]:
     from ..orchestrate.points import (faults_smoke_points,
+                                      pap_smoke_points,
                                       pipeline_smoke_points,
                                       schedule_smoke_points, smoke_points,
                                       tenancy_smoke_points,
@@ -388,6 +389,7 @@ def _scenario_factories() -> dict[str, Callable[..., list]]:
         "pipeline": pipeline_smoke_points,
         "tenancy": tenancy_smoke_points,
         "schedule": schedule_smoke_points,
+        "pap": pap_smoke_points,
     }
 
 

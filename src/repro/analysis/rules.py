@@ -164,6 +164,19 @@ SIM014_ALLOWED_PREFIXES = (
     "repro/schedule/", "repro/core/", "repro/mpich/", "repro/pipeline/",
     "test_", "conftest")
 
+#: SIM015: ad-hoc pre-collective delay injection.  Freezing a host CPU
+#: (``cpu.freeze``) to fake a late arrival bypasses the workload layer —
+#: the delay never lands in the arrival trace, so the PAP oracle,
+#: imbalance metrics (spread/kappa) and the disarmed-neutrality guarantee
+#: all silently lie.  Arrival patterns belong in ``WorkloadParams`` /
+#: ``repro.workload``.  Allowed: the workload layer itself, the fault
+#: injectors (rank pause/crash are faults, not arrivals), the sim layer
+#: that implements the primitive, and tests.
+SIM015_CALLS = frozenset({"freeze"})
+SIM015_ALLOWED_PREFIXES = (
+    "repro/workload/", "repro/faults/", "repro/sim/",
+    "test_", "conftest")
+
 #: Fully-qualified callables that read the host wall clock or ambient
 #: process state.
 WALL_CLOCK_CALLS = frozenset({
@@ -598,6 +611,36 @@ class HandRolledCollectiveOrder(Rule):
                      f"layers — AB wire framing belongs to the engine; "
                      f"express the collective as a `repro.schedule` "
                      f"Schedule and let the interpreter execute it")
+
+
+@register
+class AdHocArrivalDelay(Rule):
+    """A pre-collective delay injected by hand — freezing a host CPU
+    outside the workload/fault layers — invents an arrival pattern the
+    workload trace never records, so the PAP arrival oracle, the
+    spread/kappa metrics in BENCH json, and the disarmed-neutrality
+    regression all drift from what actually ran."""
+
+    spec = RuleSpec(
+        "SIM015",
+        "ad-hoc pre-collective delay injection outside repro.workload "
+        "(arm WorkloadParams / use an arrival pattern instead)")
+    node_types = (ast.Call,)
+
+    def check(self, ctx: Any, node: ast.Call) -> None:
+        if ctx.path.startswith(SIM015_ALLOWED_PREFIXES):
+            return
+        if not isinstance(node.func, ast.Attribute):
+            return
+        name = callee_name(node.func)
+        if name not in SIM015_CALLS:
+            return
+        ctx.emit("SIM015", node,
+                 f"direct `{name}(...)` delay injection outside the "
+                 f"workload layer — model late arrivals with an armed "
+                 f"`WorkloadParams` arrival pattern (repro.workload) so "
+                 f"the delay lands in the trace the PAP oracle and "
+                 f"imbalance metrics read")
 
 
 # ---------------------------------------------------------------------------

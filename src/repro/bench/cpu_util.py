@@ -34,7 +34,7 @@ import numpy as np
 from ..config import ClusterConfig
 from ..mpich.operations import SUM
 from ..mpich.rank import MpiBuild
-from ..runtime.program import run_program
+from ..runtime.program import build_cluster, run_program
 from ..sim.trace import Tracer
 from .skew import SkewModel, conservative_latency_estimate
 from .stats import SampleSummary, summarize
@@ -102,6 +102,20 @@ def cpu_util_benchmark(config: ClusterConfig, build: MpiBuild, *,
     expected = float(size * (size + 1) / 2)  # sum of (rank+1)
     check_counts = [0]
 
+    # Armed PAP workload: pre-build the cluster so the trace exists before
+    # any rank runs, and widen the catch-up window by the worst arrival
+    # spread so late arrivals still land inside the timed interval.  A
+    # disarmed config takes the config path into run_program unchanged.
+    cluster = None
+    workload = None
+    if config.workload.armed:
+        cluster = build_cluster(config, tracer)
+        workload = cluster.workload
+        trace = workload.prepare(
+            total_iters,
+            reference_us=conservative_latency_estimate(size, elements))
+        catchup_us += max(trace.spread(it) for it in range(trace.iterations))
+
     def program(mpi):
         skew_model = SkewModel(mpi.node.rng, config.noise, max_skew_us)
         rank = mpi.rank
@@ -115,7 +129,8 @@ def cpu_util_benchmark(config: ClusterConfig, build: MpiBuild, *,
             d0 = cpu.total_usage(exclude=APP_CATEGORIES)
             skew = skew_model.skew_delay(rank, it)
             noise = skew_model.noise_delay(rank, it)
-            yield from mpi.compute(skew + noise)
+            arrival = 0.0 if workload is None else workload.charge(rank, it)
+            yield from mpi.compute(skew + noise + arrival)
             result = yield from mpi.reduce(data, op=SUM, root=0)
             if rank == 0:
                 if not np.allclose(result, expected):
@@ -127,11 +142,12 @@ def cpu_util_benchmark(config: ClusterConfig, build: MpiBuild, *,
             t1 = mpi.now
             d1 = cpu.total_usage(exclude=APP_CATEGORIES)
             if it >= warmup:
-                samples.append((t1 - t0) - skew - catchup_us)
+                samples.append((t1 - t0) - skew - arrival - catchup_us)
                 direct.append(d1 - d0)
         return samples, direct
 
-    result = run_program(config, program, build=build, tracer=tracer)
+    result = run_program(cluster if cluster is not None else config,
+                         program, build=build, tracer=tracer)
 
     paper_matrix = np.array([r[0] for r in result.results])   # (size, iters)
     direct_matrix = np.array([r[1] for r in result.results])

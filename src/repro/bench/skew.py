@@ -84,3 +84,22 @@ def conservative_latency_estimate(size: int, elements: int, *,
         depth = max(depth, shape.max_depth(size))
     per_hop = 25.0 + 0.02 * elements * 8
     return 100.0 + depth * per_hop
+
+
+def arrival_spread_stats(trace, size: int, elements: int, *,
+                         shape=None) -> dict:
+    """Per-rank arrival-spread statistics for a workload trace, normalised
+    against the same conservative latency estimate the skew machinery uses.
+
+    Bridges the old skew metrics and the new workload layer: the returned
+    dict (min/mean/max spread plus Proficz's imbalance factor
+    ``arrival_kappa``) lands next to ``max_skew_us`` etc. in one BENCH
+    json, so constant-skew and PAP-workload runs are directly comparable.
+    Returns ``{}`` for ``trace is None`` (disarmed workload), keeping
+    legacy BENCH payloads byte-identical.
+    """
+    if trace is None:
+        return {}
+    from ..workload import metrics
+    reference = conservative_latency_estimate(size, elements, shape=shape)
+    return metrics.describe(trace, reference)

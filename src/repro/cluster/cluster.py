@@ -52,6 +52,16 @@ class Cluster:
         # the config block is armed, so disarmed BENCH json is unchanged.
         if config.pipeline.armed:
             self.sim.add_counter_source(self._pipeline_counters)
+        #: Process-arrival-pattern workload (repro.workload); built only
+        #: when the config block is armed — a disarmed config draws no
+        #: `workload/*` stream and registers no counter source, keeping the
+        #: default simulation bit-identical to a pre-workload build.
+        self.workload = None
+        if config.workload.armed:
+            from ..workload import WorkloadModel
+            self.workload = WorkloadModel(config.workload, self.size,
+                                          self.rng)
+            self.sim.add_counter_source(self.workload.counters)
         #: Protocol-invariant monitor; explicit, or the process-wide
         #: default the test harness installs, or None (production).
         self.monitor = monitor if monitor is not None else \

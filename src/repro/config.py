@@ -411,6 +411,93 @@ class PipelineParams:
         return self.segment_size_bytes > 0
 
 
+#: Arrival patterns ``WorkloadParams.pattern`` may name; mirrored by the
+#: generator registry in ``repro.workload.patterns`` (which asserts the two
+#: stay in sync, so config validation never imports the workload package).
+WORKLOAD_PATTERNS = ("none", "constant", "uniform_random", "bursty",
+                     "compute_coupled", "trace_replay")
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Process-arrival-pattern workload (see ``repro.workload``).
+
+    Defaults to *disarmed*: with ``pattern == "none"`` no
+    :class:`~repro.workload.WorkloadModel` is built, no RNG stream is
+    drawn, no counter source is registered and every collective entry is
+    untouched, so the simulation stays bit-identical to a build without
+    the workload subsystem (same guarantee style as :class:`FaultParams`
+    and :class:`PipelineParams`).  Armed generators draw from per-rank
+    named streams (``workload/<rank>``), keeping the baseline streams
+    untouched.
+    """
+
+    #: Arrival pattern name (see :data:`WORKLOAD_PATTERNS`); "none" disarms.
+    pattern: str = "none"
+    #: Base arrival-delay scale in microseconds (the pattern's amplitude):
+    #: the constant offset, the uniform upper bound, the bursty straggler
+    #: delay, or the compute-coupled median phase length.
+    scale_us: float = 0.0
+    #: Uniform per-rank jitter in [0, jitter_us] layered on top (bursty's
+    #: non-straggler baseline noise).
+    jitter_us: float = 0.0
+    #: Bursty: fraction of ranks in the correlated straggler set.
+    straggler_frac: float = 0.25
+    #: Bursty: number of independent straggler groups the set splits into
+    #: (each group shares one delay draw per iteration — correlated
+    #: arrival, the pattern PAP-aware algorithms exploit).
+    straggler_groups: int = 1
+    #: Compute-coupled: log-normal sigma of the per-rank compute phase
+    #: (arrival = scale_us * lognormal(0, sigma); heavier tails = more
+    #: imbalance).
+    compute_sigma: float = 1.0
+    #: Trace-replay: per-iteration tuples of per-rank delays (us).  Rows
+    #: cycle when the run needs more iterations than the trace holds.
+    trace: tuple = ()
+
+    def __post_init__(self) -> None:
+        # JSON round trips hand lists back; keep the block hashable.
+        if not isinstance(self.trace, tuple) or any(
+                not isinstance(row, tuple) for row in self.trace):
+            object.__setattr__(
+                self, "trace", tuple(tuple(row) for row in self.trace))
+
+    def validate(self) -> None:
+        if self.pattern not in WORKLOAD_PATTERNS:
+            raise ConfigError(
+                f"unknown workload pattern {self.pattern!r}; "
+                f"known: {', '.join(WORKLOAD_PATTERNS)}")
+        if self.scale_us < 0.0:
+            raise ConfigError(f"scale_us must be >= 0: {self.scale_us}")
+        if self.jitter_us < 0.0:
+            raise ConfigError(f"jitter_us must be >= 0: {self.jitter_us}")
+        if not (0.0 < self.straggler_frac <= 1.0):
+            raise ConfigError(
+                f"straggler_frac out of (0, 1]: {self.straggler_frac}")
+        if self.straggler_groups < 1:
+            raise ConfigError(
+                f"straggler_groups must be >= 1: {self.straggler_groups}")
+        if self.compute_sigma <= 0.0:
+            raise ConfigError(
+                f"compute_sigma must be > 0: {self.compute_sigma}")
+        if self.pattern == "trace_replay" and not self.trace:
+            raise ConfigError("trace_replay armed with an empty trace")
+        for it, row in enumerate(self.trace):
+            if not row:
+                raise ConfigError(f"trace row {it} is empty")
+            if len(row) != len(self.trace[0]):
+                raise ConfigError(
+                    f"trace row {it} has {len(row)} rank(s), row 0 has "
+                    f"{len(self.trace[0])} — the trace must be rectangular")
+            if any(d < 0.0 for d in row):
+                raise ConfigError(f"trace row {it} has a negative delay")
+
+    @property
+    def armed(self) -> bool:
+        """True when a WorkloadModel would be instantiated."""
+        return self.pattern != "none"
+
+
 # ---------------------------------------------------------------------------
 # cluster-level configuration
 # ---------------------------------------------------------------------------
@@ -429,6 +516,7 @@ class ClusterConfig:
     seed: int = 12345
     faults: FaultParams = FaultParams()
     pipeline: PipelineParams = PipelineParams()
+    workload: WorkloadParams = WorkloadParams()
 
     def __post_init__(self) -> None:
         if len(self.machines) < 1:
@@ -436,6 +524,7 @@ class ClusterConfig:
         self.noise.validate()
         self.faults.validate()
         self.pipeline.validate()
+        self.workload.validate()
 
     @property
     def size(self) -> int:
@@ -471,6 +560,9 @@ class ClusterConfig:
 
     def with_pipeline(self, pipeline: PipelineParams) -> "ClusterConfig":
         return replace(self, pipeline=pipeline)
+
+    def with_workload(self, workload: WorkloadParams) -> "ClusterConfig":
+        return replace(self, workload=workload)
 
 
 def interlaced_roster(total: int = 32) -> tuple[MachineSpec, ...]:

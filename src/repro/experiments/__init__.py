@@ -1,7 +1,7 @@
 """Per-figure experiment drivers (see DESIGN.md §4 for the index)."""
 
 from . import (ablations, extensions, fig6, fig7, fig8, fig9, fig10,
-               fig_faults, fig_pipeline, fig_schedule, fig_tenancy,
+               fig_faults, fig_pap, fig_pipeline, fig_schedule, fig_tenancy,
                fig_topo, scale)
 from .common import (ExperimentOutput, PAPER_ELEMENTS, PAPER_MSG_SIZES,
                      PAPER_SIZES, PAPER_SKEWS)
@@ -17,6 +17,7 @@ EXPERIMENTS = {
     "fig_pipeline": fig_pipeline.main,
     "fig_schedule": fig_schedule.main,
     "fig_tenancy": fig_tenancy.main,
+    "fig_pap": fig_pap.main,
     "ablations": ablations.main,
     "extensions": extensions.main,
     "scale": scale.main,
@@ -24,7 +25,7 @@ EXPERIMENTS = {
 
 __all__ = [
     "fig6", "fig7", "fig8", "fig9", "fig10", "fig_topo", "fig_faults",
-    "fig_pipeline", "fig_schedule", "fig_tenancy", "ablations",
+    "fig_pap", "fig_pipeline", "fig_schedule", "fig_tenancy", "ablations",
     "extensions", "scale",
     "EXPERIMENTS", "ExperimentOutput",
     "PAPER_SIZES", "PAPER_ELEMENTS", "PAPER_SKEWS", "PAPER_MSG_SIZES",

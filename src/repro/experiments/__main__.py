@@ -20,7 +20,8 @@ def main(argv: list[str] | None = None) -> int:
     if name == "all":
         for key in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig_topo",
                     "fig_faults", "fig_pipeline", "fig_schedule",
-                    "fig_tenancy", "ablations", "extensions", "scale"):
+                    "fig_tenancy", "fig_pap", "ablations", "extensions",
+                    "scale"):
             EXPERIMENTS[key](rest)
         return 0
     runner = EXPERIMENTS.get(name)

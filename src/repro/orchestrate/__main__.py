@@ -48,6 +48,13 @@ Commands:
     ``tenancy-smoke-cache-stats.json``); ``--no-cache`` always
     re-simulates.
 
+``smoke-pap [--jobs N] [--out DIR] [--seed S]``
+    Same contract over the PAP workload layer (repro.workload): two
+    arrival patterns (uniform_random, bursty) x four allreduce
+    algorithms (nab, ab, sra, pra) with arrival-spread/kappa metrics in
+    every row, written to ``BENCH_pap_smoke.json`` plus
+    ``pap-invariant-report.json``.
+
 ``smoke-scale [--jobs N] [--out DIR] [--seed S] [--sizes N ...]``
     The large-scale DES throughput sweep: 1024/2048/4096-rank
     extrapolated clusters on fat-tree and torus, AB build, tiny iteration
@@ -88,8 +95,9 @@ from typing import Optional, Sequence
 
 from .benchjson import events_per_sec, load_bench_json, write_bench_json
 from .points import (SweepPoint, execute_point, faults_smoke_points,
-                     pipeline_smoke_points, scale_smoke_points,
-                     schedule_smoke_points, smoke_points, topo_smoke_points)
+                     pap_smoke_points, pipeline_smoke_points,
+                     scale_smoke_points, schedule_smoke_points, smoke_points,
+                     topo_smoke_points)
 from .runner import run_points
 
 #: Where the CI perf gate's committed baseline lives (relative to the
@@ -100,6 +108,10 @@ DEFAULT_BASELINE = "benchmarks/baselines/BENCH_smoke.baseline.json"
 #: Same contract for the schedule-IR grid (``smoke-schedule``).
 DEFAULT_SCHEDULE_BASELINE = \
     "benchmarks/baselines/BENCH_schedule_smoke.baseline.json"
+
+#: Same contract for the PAP workload grid (``smoke-pap``).
+DEFAULT_PAP_BASELINE = \
+    "benchmarks/baselines/BENCH_pap_smoke.baseline.json"
 
 
 def _cmd_run_point(args: argparse.Namespace) -> int:
@@ -201,6 +213,12 @@ def _cmd_smoke_tenancy(args: argparse.Namespace) -> int:
                            "tenancy-invariant-report.json", cache=cache)
 
 
+def _cmd_smoke_pap(args: argparse.Namespace) -> int:
+    points = pap_smoke_points(seed=args.seed, iterations=args.iterations)
+    return _run_smoke_grid(args, "pap_smoke", points,
+                           "pap-invariant-report.json")
+
+
 def _cmd_smoke_scale(args: argparse.Namespace) -> int:
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -227,6 +245,7 @@ def _cmd_refresh_baseline(args: argparse.Namespace) -> int:
                                iterations=args.iterations), args.path),
         ("schedule_smoke",
          schedule_smoke_points(seed=args.seed), args.schedule_path),
+        ("pap_smoke", pap_smoke_points(seed=args.seed), args.pap_path),
     ]
     for name, points, path in grids:
         results = run_points(points, jobs=args.jobs,
@@ -349,6 +368,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                        help="always re-simulate; never read or write "
                             "the result cache")
 
+    p_pap = sub.add_parser("smoke-pap",
+                           help="PAP workload CI sweep (arrival patterns "
+                                "x allreduce algorithms incl. sra/pra) "
+                                "with invariant collection")
+    p_pap.add_argument("--jobs", type=int, default=2)
+    p_pap.add_argument("--seed", type=int, default=1)
+    p_pap.add_argument("--iterations", type=int, default=6)
+    p_pap.add_argument("--out", default="ci-artifacts")
+
     p_scale = sub.add_parser("smoke-scale",
                              help="1024-4096 rank DES throughput sweep "
                                   "(fat-tree + torus, AB build)")
@@ -368,6 +396,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_base.add_argument("--path", default=DEFAULT_BASELINE)
     p_base.add_argument("--schedule-path",
                         default=DEFAULT_SCHEDULE_BASELINE)
+    p_base.add_argument("--pap-path", default=DEFAULT_PAP_BASELINE)
 
     p_sum = sub.add_parser("summarize",
                            help="render BENCH_*.json files as a markdown "
@@ -408,6 +437,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_smoke_schedule(args)
     if args.command == "smoke-tenancy":
         return _cmd_smoke_tenancy(args)
+    if args.command == "smoke-pap":
+        return _cmd_smoke_pap(args)
     if args.command == "smoke-scale":
         return _cmd_smoke_scale(args)
     if args.command == "refresh-baseline":

@@ -24,8 +24,8 @@ from typing import Any, Callable, Optional
 
 from ..config import (AbParams, ClusterConfig, FaultParams, MpiParams,
                       NetParams, NicParams, NoiseParams, PipelineParams,
-                      extrapolated_cluster, homogeneous_cluster,
-                      paper_cluster, quiet_cluster)
+                      WorkloadParams, extrapolated_cluster,
+                      homogeneous_cluster, paper_cluster, quiet_cluster)
 from ..mpich.rank import MpiBuild
 
 #: Named cluster factories a ConfigSpec may reference.  Registry-based so
@@ -48,6 +48,7 @@ _OVERRIDE_TYPES = {
     "noise": NoiseParams,
     "faults": FaultParams,
     "pipeline": PipelineParams,
+    "workload": WorkloadParams,
 }
 
 
@@ -66,6 +67,7 @@ class ConfigSpec:
     noise: Optional[NoiseParams] = None
     faults: Optional[FaultParams] = None
     pipeline: Optional[PipelineParams] = None
+    workload: Optional[WorkloadParams] = None
 
     def build(self) -> ClusterConfig:
         try:
@@ -88,6 +90,8 @@ class ConfigSpec:
             config = config.with_faults(self.faults)
         if self.pipeline is not None:
             config = config.with_pipeline(self.pipeline)
+        if self.workload is not None:
+            config = config.with_workload(self.workload)
         return config
 
     def to_dict(self) -> dict:
@@ -370,6 +374,53 @@ def _run_schedule(point: SweepPoint, config: ClusterConfig):
     return r, metrics, counters
 
 
+def _run_pap(point: SweepPoint, config: ClusterConfig):
+    """PAP workload point (repro.workload): allreduce makespan under the
+    config's arrival pattern with the algorithm named in ``options``
+    (nab/ab/pipelined legacy paths or the schedule-driven sra/pra)."""
+    from ..bench.pap import pap_benchmark
+    r = pap_benchmark(config, algo=point.options.get("algo", "nab"),
+                      elements=point.elements,
+                      iterations=point.iterations, warmup=point.warmup)
+    metrics = {
+        "avg_makespan_us": r.avg_makespan_us,
+        "median_makespan_us": r.median_makespan_us,
+        "signals": float(r.signals),
+    }
+    # Spread stats + kappa describe the trace, not the algorithm — still
+    # per-point so every BENCH row is self-contained.
+    metrics.update(r.arrival_stats)
+    counters = dict(r.sim_counters) or {"events": r.events, "ops": r.ops}
+    return r, metrics, counters
+
+
+def pap_smoke_points(*, seed: int = 1, iterations: int = 6, size: int = 8,
+                     collect_invariants: bool = True) -> list["SweepPoint"]:
+    """CI smoke grid for the PAP workload layer (repro.workload): two
+    arrival patterns x four allreduce algorithms on one quiet cluster.
+    The algorithm rides in the experiment tag (``pap_smoke-bursty-sra``)
+    because SweepPoint.key() does not cover executor options; the
+    workload override alone also distinguishes the config variant
+    digest per pattern."""
+    patterns = {
+        "uniform": WorkloadParams(pattern="uniform_random", scale_us=400.0),
+        "bursty": WorkloadParams(pattern="bursty", scale_us=1200.0,
+                                 jitter_us=50.0, straggler_frac=0.25),
+    }
+    algos = ("nab", "ab", "sra", "pra")
+    return [
+        SweepPoint(
+            experiment=f"pap_smoke-{tag}-{algo}", kind="pap",
+            config=ConfigSpec("quiet", size, seed, workload=workload),
+            build="ab" if algo == "ab" else "nab",
+            elements=256, iterations=iterations, warmup=1,
+            options={"algo": algo},
+            collect_invariants=collect_invariants)
+        for tag, workload in patterns.items()
+        for algo in algos
+    ]
+
+
 def smoke_points(*, seed: int = 1, iterations: int = 10,
                  sizes: tuple = (2, 4, 8),
                  collect_invariants: bool = True) -> list["SweepPoint"]:
@@ -622,6 +673,7 @@ KINDS: dict[str, Callable] = {
     "tenancy": _run_tenancy,
     "chaos": _run_chaos,
     "schedule": _run_schedule,
+    "pap": _run_pap,
 }
 
 

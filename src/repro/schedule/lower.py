@@ -28,6 +28,17 @@ Registered lowerings:
     Träff-style overlap: the root interleaves per-segment fold and
     re-broadcast; other ranks run the segmented AB reduce then the segmented
     bcast.  Requires ``nseg >= 2``.
+``allreduce.pap_sorted``
+    Proficz's sorted-arrival (SRA) allreduce: the tree positions are
+    assigned by arrival order — earliest arrivals sit deepest, the latest
+    arrival becomes the root — so subtree reductions complete while the
+    stragglers are still computing.  Takes ``order=`` (earliest rank
+    first, from the workload layer's arrival oracle).
+``allreduce.pap_prereduced``
+    Proficz's pre-reduced (PRA) allreduce: a reduction *chain* in arrival
+    order — each arriving rank eagerly folds the running partial sum and
+    forwards it to the next arrival; the last arrival finishes the sum,
+    becomes the root and tree-broadcasts the result.
 """
 
 from __future__ import annotations
@@ -56,15 +67,19 @@ def register_lowering(name: str):
 
 
 def lower(name: str, shape: TreeShape, size: int, *, root: int = 0,
-          nseg: int = 0) -> Schedule:
-    """Emit a schedule with the named lowering."""
+          nseg: int = 0, **kwargs) -> Schedule:
+    """Emit a schedule with the named lowering.
+
+    Extra keyword arguments are forwarded to the lowering (the PAP-aware
+    lowerings take ``order=``, the arrival order from the workload layer).
+    """
     try:
         fn = LOWERINGS[name]
     except KeyError:
         raise ScheduleError(
             "unknown lowering %r (have: %s)"
             % (name, ", ".join(sorted(LOWERINGS)))) from None
-    return fn(shape, size, root=root, nseg=nseg)
+    return fn(shape, size, root=root, nseg=nseg, **kwargs)
 
 
 def _check(shape: TreeShape, size: int, root: int, nseg: int) -> None:
@@ -216,3 +231,100 @@ def lower_allreduce_pipelined(shape: TreeShape, size: int, *, root: int = 0,
         ranks.append(tuple(steps))
     return Schedule("allreduce", "allreduce.pipelined", size, root, nseg,
                     meta=_meta(shape), steps=tuple(ranks))
+
+
+# ---------------------------------------------------------------------------
+# PAP-aware allreduce (Proficz, arXiv:1804.05349)
+# ---------------------------------------------------------------------------
+
+
+def _check_order(order, size: int) -> tuple:
+    """Normalise an arrival order (earliest rank first) to a permutation."""
+    if order is None:
+        return tuple(range(size))
+    order = tuple(int(r) for r in order)
+    if sorted(order) != list(range(size)):
+        raise ScheduleError(
+            "order must be a permutation of 0..%d, got %r" % (size - 1, order))
+    return order
+
+
+def _pap_meta(shape: TreeShape, order: tuple) -> tuple:
+    # The order rides in meta as a string so the schedule stays a flat,
+    # JSON-stable value.
+    return _meta(shape) + (("order", ",".join(str(r) for r in order)),)
+
+
+@register_lowering("allreduce.pap_sorted")
+def lower_allreduce_pap_sorted(shape: TreeShape, size: int, *, root: int = 0,
+                               nseg: int = 0, order=None) -> Schedule:
+    """Sorted-arrival (SRA) allreduce: late arrivals sit high in the tree.
+
+    Tree positions are ranked by depth; the earliest-arriving rank takes
+    the deepest position and the latest arrival takes position 0 (the
+    root), so every subtree below a straggler is already reduced by the
+    time it shows up.  ``root`` selects the shape's rotation only when no
+    ``order`` is given (the legacy identity-order behaviour); with an
+    order, placement *is* the mapping and the emitted root is the latest
+    arrival.
+    """
+    _check(shape, size, root, nseg)
+    order = _check_order(order, size)
+    depth = []
+    for pos in range(size):
+        d, p = 0, pos
+        while p != 0:
+            p = shape.parent(p, size)
+            d += 1
+        depth.append(d)
+    by_depth = sorted(range(size), key=lambda p: (-depth[p], p))
+    rank_at_pos = [0] * size
+    for arrival, pos in enumerate(by_depth):
+        rank_at_pos[pos] = order[arrival]
+    pos_of_rank = {r: p for p, r in enumerate(rank_at_pos)}
+    ranks = []
+    for me in range(size):
+        pos = pos_of_rank[me]
+        parent = (None if pos == 0
+                  else rank_at_pos[shape.parent(pos, size)])
+        kids = [rank_at_pos[c] for c in shape.children(pos, size)]
+        steps = (_reduce_rank_steps(parent, kids, nseg)
+                 + _bcast_rank_steps(parent, kids, nseg))
+        ranks.append(tuple(steps))
+    return Schedule("allreduce", "allreduce.pap_sorted", size,
+                    rank_at_pos[0], nseg, meta=_pap_meta(shape, order),
+                    steps=tuple(ranks))
+
+
+@register_lowering("allreduce.pap_prereduced")
+def lower_allreduce_pap_prereduced(shape: TreeShape, size: int, *,
+                                   root: int = 0, nseg: int = 0,
+                                   order=None) -> Schedule:
+    """Pre-reduced (PRA) allreduce: eager chain in arrival order.
+
+    Each rank folds the partial sum of everyone who arrived before it and
+    forwards the result to the next arrival, so all reduction work except
+    one fold is done before the last rank arrives.  The last arrival
+    completes the sum, becomes the root and tree-broadcasts (``shape``
+    only affects the broadcast tree).
+    """
+    _check(shape, size, root, nseg)
+    order = _check_order(order, size)
+    chain_root = order[-1]
+    nxt = {order[i]: order[i + 1] for i in range(size - 1)}
+    prev = {order[i]: order[i - 1] for i in range(1, size)}
+    ranks = []
+    for me in range(size):
+        steps: List = []
+        for s in _segs(nseg):
+            if me in prev:
+                steps.append(RecvStep(prev[me], seg=s))
+                steps.append(FoldStep(prev[me], seg=s))
+            if me in nxt:
+                steps.append(SendStep(nxt[me], seg=s))
+        bparent, bkids = _family(shape, size, chain_root, me)
+        steps.extend(_bcast_rank_steps(bparent, bkids, nseg))
+        ranks.append(tuple(steps))
+    return Schedule("allreduce", "allreduce.pap_prereduced", size,
+                    chain_root, nseg, meta=_pap_meta(shape, order),
+                    steps=tuple(ranks))

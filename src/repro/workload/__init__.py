@@ -1,0 +1,30 @@
+"""repro.workload — process-arrival-pattern generators and metrics.
+
+Real clusters never enter a collective synchronously.  This package
+models *process-arrival patterns* (PAPs): deterministic per-rank delays
+injected just before each collective entry, configured by the frozen
+:class:`repro.config.WorkloadParams` block (disarmed by default — the
+default configuration is bit-identical to a build without this
+subsystem).  The generated :class:`ArrivalTrace` doubles as the
+arrival-order oracle consumed by the PAP-aware allreduce lowerings
+(``allreduce.pap_sorted`` / ``allreduce.pap_prereduced`` in
+``repro.schedule``) and feeds imbalance metrics (arrival spread, Proficz
+kappa) into BENCH json via the standard counter-source hook.
+"""
+
+from __future__ import annotations
+
+from . import metrics
+from .model import WorkloadModel
+from .patterns import PATTERNS, generate_trace, register_pattern
+from .trace import ArrivalTrace, WorkloadError
+
+__all__ = [
+    "ArrivalTrace",
+    "PATTERNS",
+    "WorkloadError",
+    "WorkloadModel",
+    "generate_trace",
+    "metrics",
+    "register_pattern",
+]

@@ -1,0 +1,47 @@
+"""Arrival-imbalance metrics.
+
+Quantifies how imbalanced a process-arrival pattern is, following
+Proficz (arXiv:1804.05349): the *arrival spread* of one collective entry
+is ``max - min`` arrival time across ranks, and the *imbalance factor*
+kappa normalises the mean spread by a reference time (here: the
+conservative single-collective latency estimate from
+:func:`repro.bench.skew.conservative_latency_estimate`).  kappa << 1
+means arrivals are effectively synchronous; kappa >> 1 means the
+pattern, not the collective, dominates the makespan — the regime where
+PAP-aware schedules pay off.
+"""
+
+from __future__ import annotations
+
+from .trace import ArrivalTrace
+
+
+def spread_stats(trace: ArrivalTrace) -> dict:
+    """Min/mean/max arrival spread (us) over all iterations of a trace."""
+    spreads = [trace.spread(it) for it in range(trace.iterations)]
+    return {
+        "arrival_spread_min_us": min(spreads),
+        "arrival_spread_mean_us": sum(spreads) / len(spreads),
+        "arrival_spread_max_us": max(spreads),
+    }
+
+
+def imbalance_kappa(trace: ArrivalTrace, reference_us: float) -> float:
+    """Proficz's imbalance factor: mean arrival spread / reference time.
+
+    ``reference_us`` is the time one balanced collective takes; pass the
+    conservative latency estimate used elsewhere in the bench layer so
+    kappa is comparable across patterns and message sizes.
+    """
+    if reference_us <= 0.0:
+        raise ValueError(f"reference_us must be > 0: {reference_us}")
+    mean_spread = sum(
+        trace.spread(it) for it in range(trace.iterations)) / trace.iterations
+    return mean_spread / reference_us
+
+
+def describe(trace: ArrivalTrace, reference_us: float) -> dict:
+    """One flat dict with the spread stats plus kappa (BENCH-json ready)."""
+    stats = spread_stats(trace)
+    stats["arrival_kappa"] = imbalance_kappa(trace, reference_us)
+    return stats

@@ -1,0 +1,115 @@
+"""The per-cluster workload model: trace owner, delay oracle, counters.
+
+:class:`WorkloadModel` is built by :class:`repro.cluster.Cluster` *only
+when* ``config.workload.armed`` — the disarmed path constructs nothing,
+draws no stream and registers no counter source, which is what makes the
+default configuration bit-identical to a build without this subsystem.
+
+One model owns one :class:`~repro.workload.trace.ArrivalTrace` for the
+whole run (generated once by :meth:`prepare`), hands out per-(rank,
+iteration) delays for the benchmark loop to inject via ``mpi.compute``,
+exposes the *arrival-order oracle* (:meth:`order`) the PAP-aware
+lowerings consume, and reports imbalance metrics through the standard
+``add_counter_source`` hook so they land in every BENCH json.
+"""
+
+from __future__ import annotations
+
+from ..config import WorkloadParams
+from ..sim.random import RngStreams
+from . import metrics
+from .patterns import generate_trace
+from .trace import ArrivalTrace, WorkloadError
+
+
+class WorkloadModel:
+    """Deterministic arrival-delay oracle for one cluster run."""
+
+    def __init__(self, params: WorkloadParams, nranks: int, rng: RngStreams):
+        params.validate()
+        self.params = params
+        self.nranks = nranks
+        self._rng = rng
+        self.trace: ArrivalTrace | None = None
+        self._reference_us = 0.0
+        #: Per-rank injection counts.  Only integers are accumulated at
+        #: charge time — the microsecond total is recomputed rank-major
+        #: in :meth:`counters`, so the float sum never depends on the
+        #: cross-rank order in which same-time processes happened to call
+        #: :meth:`charge` (the schedule-perturbation sanitizer checks
+        #: this).
+        self._charges = [0] * nranks
+
+    # ------------------------------------------------------------------
+    # trace lifecycle
+
+    def prepare(self, iterations: int, *,
+                reference_us: float = 0.0) -> ArrivalTrace:
+        """Generate the run's trace (idempotent for a same-size request).
+
+        ``reference_us`` is the balanced-collective latency used to
+        normalise kappa; 0 leaves kappa unreported.  A later call asking
+        for *more* iterations than the first is an error — the trace is
+        the run's single source of arrival truth.
+        """
+        if self.trace is not None:
+            if iterations > self.trace.iterations:
+                raise WorkloadError(
+                    f"trace already prepared for {self.trace.iterations} "
+                    f"iteration(s); cannot grow to {iterations}")
+            return self.trace
+        self.trace = generate_trace(self.params, self.nranks, iterations,
+                                    self._rng)
+        self._reference_us = float(reference_us)
+        return self.trace
+
+    def _require_trace(self) -> ArrivalTrace:
+        if self.trace is None:
+            raise WorkloadError("WorkloadModel.prepare() has not been called")
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # delay + order oracles
+
+    def delay(self, rank: int, iteration: int) -> float:
+        """Pre-collective delay (us) for ``rank`` at ``iteration``."""
+        return self._require_trace().delay(rank, iteration)
+
+    def charge(self, rank: int, iteration: int) -> float:
+        """Like :meth:`delay`, but counts the injection in the counters.
+
+        The benchmark loop calls this exactly once per (rank, iteration)
+        it actually delays, so ``workload_delays`` in the BENCH json is
+        the number of injections actually performed.
+        """
+        d = self.delay(rank, iteration)
+        self._charges[rank] += 1
+        return d
+
+    def order(self, iteration: int) -> tuple:
+        """Arrival order (earliest rank first) — the PAP schedule oracle."""
+        return self._require_trace().order(iteration)
+
+    # ------------------------------------------------------------------
+    # counters (registered via Simulator.add_counter_source)
+
+    def counters(self) -> dict:
+        # Each rank's charges arrive in iteration order, so replaying
+        # range(charges[rank]) against the trace reproduces exactly the
+        # delays handed out — in a fixed rank-major fold order.
+        injected_us = 0.0
+        if self.trace is not None:
+            for rank in range(self.nranks):
+                for it in range(self._charges[rank]):
+                    injected_us += self.trace.delay(rank, it)
+        out = {
+            "workload_pattern": self.params.pattern,
+            "workload_delays": sum(self._charges),
+            "workload_delay_us": injected_us,
+        }
+        if self.trace is not None:
+            out.update(metrics.spread_stats(self.trace))
+            if self._reference_us > 0.0:
+                out["arrival_kappa"] = metrics.imbalance_kappa(
+                    self.trace, self._reference_us)
+        return out

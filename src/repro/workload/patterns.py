@@ -1,0 +1,157 @@
+"""Deterministic per-rank arrival-pattern generators.
+
+Each generator maps ``(WorkloadParams, nranks, iterations, RngStreams)``
+to an :class:`~repro.workload.trace.ArrivalTrace` — the full matrix of
+pre-collective delays, produced once per run.  Generators draw only from
+per-rank named streams (``workload/<rank>`` via
+:meth:`RngStreams.node_stream`, plus ``workload/groups`` for bursty
+membership), so arming a workload never perturbs the skew/noise streams
+the rest of the simulation consumes.
+
+The registry keys mirror :data:`repro.config.WORKLOAD_PATTERNS` (minus
+the disarming ``"none"``); a module-import assertion keeps the two in
+sync without making config validation import this package.
+"""
+
+from __future__ import annotations
+
+from ..config import WORKLOAD_PATTERNS, WorkloadParams
+from ..sim.random import RngStreams
+from .trace import ArrivalTrace, WorkloadError
+
+STREAM = "workload"
+
+PATTERNS: dict = {}
+
+
+def register_pattern(name: str):
+    """Decorator registering an arrival-pattern generator under ``name``."""
+
+    def deco(fn):
+        if name in PATTERNS:
+            raise ValueError(f"duplicate workload pattern {name!r}")
+        PATTERNS[name] = fn
+        return fn
+
+    return deco
+
+
+def generate_trace(params: WorkloadParams, nranks: int, iterations: int,
+                   rng: RngStreams) -> ArrivalTrace:
+    """Generate the arrival trace for ``params`` (all-zeros when disarmed).
+
+    Deterministic: the same ``(params, nranks, iterations, seed)`` always
+    yields the identical trace, independent of what other streams the
+    simulation has consumed.
+    """
+    if nranks < 1:
+        raise WorkloadError(f"nranks must be >= 1: {nranks}")
+    if iterations < 1:
+        raise WorkloadError(f"iterations must be >= 1: {iterations}")
+    params.validate()
+    if not params.armed:
+        return ArrivalTrace(
+            delays=tuple((0.0,) * nranks for _ in range(iterations)))
+    return PATTERNS[params.pattern](params, nranks, iterations, rng)
+
+
+def _rank_draws(rng: RngStreams, rank: int, iterations: int, lo: float,
+                hi: float) -> list:
+    if hi <= lo:
+        return [lo] * iterations
+    gen = rng.node_stream(STREAM, rank)
+    return [float(x) for x in gen.uniform(lo, hi, size=iterations)]
+
+
+@register_pattern("constant")
+def _constant(params: WorkloadParams, nranks: int, iterations: int,
+              rng: RngStreams) -> ArrivalTrace:
+    """Every rank arrives ``scale_us`` late: maximal delay, zero spread."""
+    return ArrivalTrace(
+        delays=tuple((params.scale_us,) * nranks for _ in range(iterations)))
+
+
+@register_pattern("uniform_random")
+def _uniform_random(params: WorkloadParams, nranks: int, iterations: int,
+                    rng: RngStreams) -> ArrivalTrace:
+    """Independent per-rank delay drawn uniformly from [0, scale_us]."""
+    cols = [_rank_draws(rng, r, iterations, 0.0, params.scale_us)
+            for r in range(nranks)]
+    return ArrivalTrace(
+        delays=tuple(tuple(cols[r][it] for r in range(nranks))
+                     for it in range(iterations)))
+
+
+@register_pattern("bursty")
+def _bursty(params: WorkloadParams, nranks: int, iterations: int,
+            rng: RngStreams) -> ArrivalTrace:
+    """Correlated straggler groups: most ranks jitter, a fixed set lags.
+
+    A deterministic ``straggler_frac`` slice of the ranks is partitioned
+    into ``straggler_groups`` groups; each group shares *one* extra delay
+    draw ~ U[0.5, 1.5] * scale_us per iteration, so its members arrive
+    late *together* — the correlated burst PAP-aware schedules exploit.
+    """
+    group_gen = rng.stream(f"{STREAM}/groups")
+    nstrag = max(1, round(params.straggler_frac * nranks))
+    members = [int(r) for r in
+               group_gen.permutation(nranks)[:nstrag]]
+    ngroups = min(params.straggler_groups, nstrag)
+    group_of = {rank: i % ngroups for i, rank in enumerate(sorted(members))}
+    # One correlated draw per (group, iteration).
+    group_delays = [
+        [0.5 * params.scale_us + float(x)
+         for x in rng.stream(f"{STREAM}/group-{g}").uniform(
+             0.0, params.scale_us, size=iterations)]
+        for g in range(ngroups)]
+    base = [_rank_draws(rng, r, iterations, 0.0, params.jitter_us)
+            for r in range(nranks)]
+    rows = []
+    for it in range(iterations):
+        row = []
+        for r in range(nranks):
+            d = base[r][it]
+            g = group_of.get(r)
+            if g is not None:
+                d += group_delays[g][it]
+            row.append(d)
+        rows.append(tuple(row))
+    return ArrivalTrace(delays=tuple(rows))
+
+
+@register_pattern("compute_coupled")
+def _compute_coupled(params: WorkloadParams, nranks: int, iterations: int,
+                     rng: RngStreams) -> ArrivalTrace:
+    """Arrival = length of a skewed per-rank compute phase.
+
+    Each rank's phase is ``scale_us * lognormal(0, compute_sigma)`` —
+    median ``scale_us`` with a heavy right tail, the classic shape of
+    data-dependent compute imbalance.
+    """
+    cols = []
+    for r in range(nranks):
+        gen = rng.node_stream(STREAM, r)
+        cols.append([params.scale_us * float(x)
+                     for x in gen.lognormal(0.0, params.compute_sigma,
+                                            size=iterations)])
+    return ArrivalTrace(
+        delays=tuple(tuple(cols[r][it] for r in range(nranks))
+                     for it in range(iterations)))
+
+
+@register_pattern("trace_replay")
+def _trace_replay(params: WorkloadParams, nranks: int, iterations: int,
+                  rng: RngStreams) -> ArrivalTrace:
+    """Replay ``params.trace`` verbatim, cycling rows to ``iterations``."""
+    src = ArrivalTrace(delays=params.trace)
+    if src.nranks != nranks:
+        raise WorkloadError(
+            f"trace has {src.nranks} rank(s) but the cluster has {nranks}")
+    return ArrivalTrace(
+        delays=tuple(src.delays[it % src.iterations]
+                     for it in range(iterations)))
+
+
+# Registry and config enum must agree; fail loudly at import otherwise.
+assert set(PATTERNS) == set(WORKLOAD_PATTERNS) - {"none"}, (
+    sorted(PATTERNS), WORKLOAD_PATTERNS)

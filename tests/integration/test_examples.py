@@ -28,7 +28,7 @@ def test_every_example_is_covered():
     """Keep this list in sync: a new example must get a smoke test."""
     assert ALL_EXAMPLES == ["compute_overlap", "custom_pass",
                             "fault_injection", "heterogeneous_cluster",
-                            "multi_tenant", "quickstart",
+                            "multi_tenant", "pap_workload", "quickstart",
                             "skew_tolerance", "timeline_demo"]
 
 
@@ -103,6 +103,16 @@ def test_custom_pass(capsys):
     assert "custom pass 'to_chain' registered and applied" in out
     assert "validates and round-trips losslessly" in out
     assert "shape=chain" in out and "shape=binomial" in out
+
+
+def test_pap_workload(capsys):
+    load_example("pap_workload").main()
+    out = capsys.readouterr().out
+    assert "round trip is lossless and byte-stable" in out
+    assert "sorted-arrival tree vs application-bypass:" in out
+    factor = float(out.rsplit("application-bypass:", 1)[1]
+                   .split("x", 1)[0].strip())
+    assert factor > 1.0
 
 
 def test_fault_injection(capsys):

@@ -1,0 +1,110 @@
+"""Property tests for repro.workload (Hypothesis).
+
+The workload layer's contract is all invariants: every generator is a
+pure function of (params, nranks, iterations, seed); delays are never
+negative; the disarmed block generates exactly zeros; ArrivalTrace's
+JSON wire form is lossless *and* byte-stable (a replayed trace re-wires
+to the same bytes, so recorded traces can be content-addressed); and
+the kappa imbalance metric obeys its closed forms.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import WorkloadParams
+from repro.sim.random import RngStreams
+from repro.workload import ArrivalTrace, generate_trace, metrics
+
+nranks_st = st.integers(min_value=1, max_value=24)
+iters_st = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+delays_st = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+
+@st.composite
+def armed_params(draw):
+    """A valid armed WorkloadParams across the whole pattern registry."""
+    pattern = draw(st.sampled_from(("constant", "uniform_random", "bursty",
+                                    "compute_coupled")))
+    return WorkloadParams(
+        pattern=pattern,
+        scale_us=draw(st.floats(min_value=0.0, max_value=5000.0)),
+        jitter_us=draw(st.floats(min_value=0.0, max_value=500.0)),
+        straggler_frac=draw(st.floats(min_value=0.01, max_value=1.0)),
+        straggler_groups=draw(st.integers(min_value=1, max_value=4)),
+        compute_sigma=draw(st.floats(min_value=0.1, max_value=2.0)))
+
+
+@st.composite
+def trace_matrices(draw):
+    nranks = draw(st.integers(min_value=1, max_value=8))
+    iters = draw(st.integers(min_value=1, max_value=5))
+    return tuple(tuple(draw(delays_st) for _ in range(nranks))
+                 for _ in range(iters))
+
+
+@given(params=armed_params(), nranks=nranks_st, iters=iters_st, seed=seeds)
+@settings(max_examples=120, deadline=None)
+def test_generation_deterministic_per_seed(params, nranks, iters, seed):
+    a = generate_trace(params, nranks, iters, RngStreams(seed))
+    b = generate_trace(params, nranks, iters, RngStreams(seed))
+    assert a == b
+
+
+@given(params=armed_params(), nranks=nranks_st, iters=iters_st, seed=seeds)
+@settings(max_examples=120, deadline=None)
+def test_delays_never_negative(params, nranks, iters, seed):
+    t = generate_trace(params, nranks, iters, RngStreams(seed))
+    assert t.nranks == nranks and t.iterations == iters
+    assert all(d >= 0.0 for row in t.delays for d in row)
+
+
+@given(nranks=nranks_st, iters=iters_st, seed=seeds)
+@settings(max_examples=60, deadline=None)
+def test_disarmed_params_generate_only_zeros(nranks, iters, seed):
+    t = generate_trace(WorkloadParams(), nranks, iters, RngStreams(seed))
+    assert t.delays == ((0.0,) * nranks,) * iters
+    assert all(t.spread(it) == 0.0 for it in range(iters))
+
+
+@given(delays=trace_matrices())
+@settings(max_examples=120, deadline=None)
+def test_trace_json_round_trip_lossless_and_byte_stable(delays):
+    t = ArrivalTrace(delays=delays)
+    wire = t.to_json()
+    again = ArrivalTrace.from_json(wire)
+    assert again == t
+    assert again.to_json() == wire
+
+
+@given(delays=trace_matrices())
+@settings(max_examples=120, deadline=None)
+def test_order_is_a_permutation_sorted_by_delay(delays):
+    t = ArrivalTrace(delays=delays)
+    for it in range(t.iterations):
+        order = t.order(it)
+        assert sorted(order) == list(range(t.nranks))
+        row = t.delays[it]
+        assert [row[r] for r in order] == sorted(row)
+
+
+@given(scale=st.floats(min_value=0.0, max_value=1e4),
+       reference=st.floats(min_value=1e-3, max_value=1e4),
+       nranks=nranks_st, iters=iters_st, seed=seeds)
+@settings(max_examples=60, deadline=None)
+def test_kappa_closed_form_constant_pattern_is_zero(scale, reference,
+                                                    nranks, iters, seed):
+    p = WorkloadParams(pattern="constant", scale_us=scale)
+    t = generate_trace(p, nranks, iters, RngStreams(seed))
+    assert metrics.imbalance_kappa(t, reference) == 0.0
+
+
+@given(spread=st.floats(min_value=0.0, max_value=1e4),
+       reference=st.floats(min_value=1e-3, max_value=1e4))
+@settings(max_examples=60, deadline=None)
+def test_kappa_closed_form_two_rank_trace(spread, reference):
+    t = ArrivalTrace(delays=((0.0, spread),))
+    assert metrics.imbalance_kappa(t, reference) == pytest.approx(
+        spread / reference)

@@ -49,13 +49,22 @@ def test_smoke_scale_cli_writes_bench_json(tmp_path, capsys):
 
 
 def test_refresh_baseline_cli(tmp_path, capsys):
+    # Redirect every grid's output: the committed in-tree baselines must
+    # never be touched by a test run.
     target = tmp_path / "BENCH_smoke.baseline.json"
     rc = main(["refresh-baseline", "--jobs", "1", "--iterations", "2",
-               "--path", str(target)])
+               "--path", str(target),
+               "--schedule-path",
+               str(tmp_path / "BENCH_schedule_smoke.baseline.json"),
+               "--pap-path",
+               str(tmp_path / "BENCH_pap_smoke.baseline.json")])
     assert rc == 0
     payload = load_bench_json(target)
     assert payload["name"] == "smoke"
     assert payload["points"]
+    for name in ("BENCH_schedule_smoke", "BENCH_pap_smoke"):
+        grid = load_bench_json(tmp_path / f"{name}.baseline.json")
+        assert grid["points"]
     assert "commit it" in capsys.readouterr().out
 
 
